@@ -1,0 +1,7 @@
+"""Benchmark harness: one module per table/figure of the paper.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Each module both
+*measures* the relevant computation (pytest-benchmark) and *asserts*
+the paper's qualitative result (who wins, thresholds, failure shapes),
+printing the reproduced rows.
+"""

@@ -1,0 +1,113 @@
+"""Extension bench — random parents (paper) vs crowded tournament.
+
+Listing 1 selects parents uniformly at random; canonical NSGA-II uses
+binary tournaments under the crowded-comparison operator for mating
+selection.  With mu+lambda truncation already supplying strong
+survivor-selection pressure, does the paper's simplification cost
+anything?  The bench runs both at equal budget across seeds.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import once
+from repro.analysis import format_table
+from repro.evo import ops
+from repro.evo.annealing import AnnealingSchedule
+from repro.evo.individual import RobustIndividual
+from repro.evo.nsga2 import (
+    crowded_tournament_selection,
+    crowding_distance_calc,
+    rank_ordinal_sort_op,
+)
+from repro.hpo import NSGA2Settings, SurrogateDeepMDProblem, run_deepmd_nsga2
+from repro.hpo.representation import DeepMDRepresentation
+from repro.mo.dominance import non_dominated_mask
+from repro.mo.metrics import hypervolume_2d
+from repro.rng import ensure_rng
+
+REFERENCE = (0.02, 0.2)
+POP = 60
+GENERATIONS = 6
+
+
+def _hv(population) -> float:
+    F = np.array([i.fitness for i in population if i.is_viable])
+    if len(F) == 0:
+        return 0.0
+    return hypervolume_2d(F[non_dominated_mask(F)], REFERENCE)
+
+
+def _run_tournament(seed: int) -> float:
+    problem = SurrogateDeepMDProblem(seed=seed)
+    rep = DeepMDRepresentation
+    gen_rng = ensure_rng(seed)
+    schedule = AnnealingSchedule(rep.mutation_std, factor=0.85)
+    parents = []
+    for _ in range(POP):
+        genome = gen_rng.uniform(
+            rep.init_ranges[:, 0], rep.init_ranges[:, 1]
+        )
+        ind = RobustIndividual(
+            genome, decoder=rep.decoder(), problem=problem
+        )
+        ind.n_objectives = 2
+        parents.append(ind.evaluate())
+    # initial pool needs ranks/distances before the first tournament
+    parents = crowding_distance_calc(rank_ordinal_sort_op()(parents))
+    for _ in range(GENERATIONS):
+        offspring = ops.pipe(
+            parents,
+            lambda pop: crowded_tournament_selection(pop, rng=gen_rng),
+            ops.clone,
+            ops.mutate_gaussian(
+                std=schedule.current,
+                hard_bounds=rep.bounds,
+                rng=gen_rng,
+            ),
+            ops.eval_pool(client=None, size=POP),
+        )
+        combined = rank_ordinal_sort_op(parents=parents)(offspring)
+        crowded = crowding_distance_calc(combined)
+        parents = ops.truncation_selection(
+            size=POP, key=lambda x: (-x.rank, x.distance)
+        )(crowded)
+        schedule.step()
+    return _hv(parents)
+
+
+def _run_random(seed: int) -> float:
+    records = run_deepmd_nsga2(
+        SurrogateDeepMDProblem(seed=seed),
+        settings=NSGA2Settings(pop_size=POP, generations=GENERATIONS),
+        rng=seed,
+    )
+    return _hv(records[-1].population)
+
+
+def test_selection_ablation(benchmark):
+    once(benchmark, lambda: None)
+    seeds = [0, 1, 2, 3]
+    random_sel = [_run_random(s) for s in seeds]
+    tournament = [_run_tournament(s) for s in seeds]
+    rows = [
+        {
+            "mating selection": "uniform random (paper, Listing 1)",
+            "mean hypervolume": float(np.mean(random_sel)),
+        },
+        {
+            "mating selection": "crowded binary tournament (canonical)",
+            "mean hypervolume": float(np.mean(tournament)),
+        },
+    ]
+    print()
+    print(format_table(rows, title="mating-selection ablation (4 seeds)"))
+    # mu+lambda truncation already provides the pressure: random mating
+    # selection is competitive (within 15 %)
+    assert np.mean(random_sel) > 0.85 * np.mean(tournament)
+
+
+def test_tournament_pipeline_speed(benchmark):
+    hv = benchmark.pedantic(
+        _run_tournament, args=(0,), rounds=1, iterations=1
+    )
+    assert hv > 0.0

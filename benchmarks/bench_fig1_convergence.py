@@ -1,0 +1,55 @@
+"""Experiment ``fig1`` — Fig. 1: per-generation loss distributions.
+
+Benchmarks the full campaign (5 runs × 7 generations × 100
+individuals — the paper's 3500 trainings) and regenerates the level
+plots: pooled energy/force losses per generation with the paper's
+outlier-culling rule, plus the convergence narrative of §3.1.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_paper_campaign
+from repro.analysis import (
+    convergence_summary,
+    format_table,
+    generation_level_plots,
+)
+
+
+def test_fig1_campaign_and_level_plots(benchmark):
+    result = benchmark.pedantic(
+        run_paper_campaign, rounds=1, iterations=1
+    )
+    panels = generation_level_plots(result)
+    print()
+    print(
+        format_table(
+            [p.summary() for p in panels],
+            title="Fig. 1 - pooled loss distributions per generation",
+        )
+    )
+    # paper shape: 7 generations of 500 pooled evaluations each
+    assert result.n_trainings == 3500
+    assert len(panels) == 7
+    # generation 0 is the random population and contains outliers that
+    # the paper culls (force > 0.6 eV/A or energy > 0.03 eV/atom)
+    assert panels[0].n_culled > 0
+    # the EA tightens the distributions: final medians far below initial
+    first, last = panels[0].summary(), panels[-1].summary()
+    assert last["median_force"] < 0.6 * first["median_force"]
+    assert last["median_energy"] < 0.6 * first["median_energy"]
+
+
+def test_fig1_convergence_shape(paper_campaign, benchmark):
+    summary = benchmark(convergence_summary, paper_campaign)
+    shifts = summary.median_shift()
+    print()
+    print(
+        "median shift per EA step: "
+        + ", ".join(f"{s:.3f}" for s in shifts)
+    )
+    # §3.1: the first EA step does the big clean-up ...
+    assert shifts[0] == shifts.max()
+    # ... and the last steps change little ("distributions between the
+    # last three runs being similar, indicating convergence")
+    assert np.all(shifts[-2:] < 0.35 * shifts[0])

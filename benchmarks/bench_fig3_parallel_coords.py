@@ -1,0 +1,90 @@
+"""Experiment ``fig3`` — Fig. 3: parallel coordinates of the final
+solution set with chemical-accuracy coloring.
+
+Regenerates the per-solution rows (seven hyperparameters + runtime +
+losses + frontier membership + accuracy flag) and asserts the
+hyperparameter findings the paper reads off the figure.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table, parallel_coordinates
+
+
+def test_fig3_rows(paper_campaign, benchmark):
+    data = benchmark(parallel_coordinates, paper_campaign)
+    accurate = data.accurate_rows()
+    print()
+    print(
+        f"final solutions: {len(data)}; chemically accurate: "
+        f"{len(accurate)}"
+    )
+    sample = [
+        {
+            k: (round(v, 4) if isinstance(v, float) else v)
+            for k, v in row.items()
+        }
+        for row in data.rows[:5]
+    ]
+    print(format_table(sample, title="Fig. 3 rows (first five)"))
+
+    assert len(data) == 500  # 5 runs x 100 final individuals (viable)
+    assert len(accurate) > 0
+
+    # §3.2: "no accurate solution having an rcut below 8.5 Å"
+    min_rcut = min(r["rcut"] for r in accurate)
+    print(f"minimum rcut among accurate solutions: {min_rcut:.2f} A")
+    assert min_rcut > 7.5
+
+    # accurate solutions' smoothing radius is densest below 4.5 Å
+    smths = np.array([r["rcut_smth"] for r in accurate])
+    assert np.mean(smths < 4.5) > 0.5
+
+    # stop_lr of accurate solutions all above 1e-5 (paper finding)
+    stops = np.array([r["stop_lr"] for r in accurate])
+    assert np.all(stops > 1e-6)
+    assert np.median(stops) > 1e-5
+
+
+def test_fig3_activation_findings(paper_campaign, benchmark):
+    from benchmarks.conftest import once
+
+    data = once(benchmark, parallel_coordinates, paper_campaign)
+    accurate_fit = data.categorical_counts(
+        "fitting_activ_func", accurate_only=True
+    )
+    accurate_desc = data.categorical_counts(
+        "desc_activ_func", accurate_only=True
+    )
+    all_fit = data.categorical_counts("fitting_activ_func")
+    print()
+    print(f"fitting activations (all final): {all_fit}")
+    print(f"fitting activations (accurate): {accurate_fit}")
+    print(f"descriptor activations (accurate): {accurate_desc}")
+
+    # "both relu activation functions for the fitting network have
+    # dropped out completely from the final solution"
+    assert accurate_fit.get("relu", 0) == 0
+    assert accurate_fit.get("relu6", 0) == 0
+    # "the sigmoid activation function for the descriptor network is
+    # not included in any chemically accurate solutions"
+    assert accurate_desc.get("sigmoid", 0) == 0
+    # softplus/tanh survive for both networks
+    assert accurate_fit.get("tanh", 0) + accurate_fit.get("softplus", 0) > 0
+    assert accurate_desc.get("tanh", 0) + accurate_desc.get("softplus", 0) > 0
+
+
+def test_fig3_worker_scaling_findings(paper_campaign, benchmark):
+    from benchmarks.conftest import once
+
+    data = once(benchmark, parallel_coordinates, paper_campaign)
+    counts = data.categorical_counts(
+        "scale_by_worker", accurate_only=True
+    )
+    print()
+    print(f"worker scaling among accurate solutions: {counts}")
+    # "scaling by the square root of the number of workers and no
+    # scaling at all can provide excellent training results, and in
+    # fact, more chemically accurate solutions are obtained this way"
+    non_linear = counts.get("none", 0) + counts.get("sqrt", 0)
+    assert non_linear > counts.get("linear", 0)

@@ -1,0 +1,68 @@
+"""Extension bench — neural architecture search (§4 future work).
+
+Runs NSGA-II over the 11-gene representation (training genes +
+embedding/fitting depth/width) and checks the expected shape: the
+search avoids both underfitting (tiny nets) and runtime-bloating
+(huge nets), landing mid-capacity architectures on the frontier.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import once
+from repro.analysis import format_table
+from repro.hpo.chemical import filter_chemically_accurate
+from repro.hpo.nas import (
+    NASRepresentation,
+    NASSurrogateProblem,
+    run_nas_nsga2,
+)
+
+
+def test_nas_campaign(benchmark):
+    records = once(
+        benchmark,
+        run_nas_nsga2,
+        NASSurrogateProblem(seed=0),
+        pop_size=80,
+        generations=6,
+        rng=0,
+    )
+    final = [i for i in records[-1].population if i.is_viable]
+    assert final
+
+    accurate = filter_chemically_accurate(final)
+    assert accurate, "NAS search found no chemically accurate solutions"
+
+    params = [
+        NASSurrogateProblem._parameter_count(i.metadata["phenome"])
+        for i in accurate
+    ]
+    rows = [
+        {
+            "quantity": "accurate solutions",
+            "value": len(accurate),
+        },
+        {"quantity": "min params", "value": min(params)},
+        {"quantity": "median params", "value": float(np.median(params))},
+        {"quantity": "max params", "value": max(params)},
+    ]
+    print()
+    print(format_table(rows, title="NAS: capacity of accurate solutions"))
+    # the search avoids the underfitting region ...
+    assert min(params) > 300
+    # ... and does not blow capacity (runtime pressure caps it)
+    assert np.median(params) < 40_000
+
+
+def test_nas_architectures_decoded(benchmark):
+    records = once(
+        benchmark, run_nas_nsga2, None, 30, 2, 0
+    )
+    for ind in records[-1].population:
+        phenome = ind.metadata.get("phenome")
+        if phenome is None:
+            continue
+        arch = NASRepresentation.architecture_of(phenome)
+        assert 1 <= len(arch["embedding_widths"]) <= 3
+        assert 1 <= len(arch["fitting_widths"]) <= 3
+        assert all(4 <= w for w in arch["embedding_widths"])

@@ -1,0 +1,134 @@
+"""Experiment ``perf-scale`` — §2.2.5's deployment envelope.
+
+* the live executor scales an evaluation wave across workers;
+* worker failures cost reassignments, not results;
+* the discrete-event simulation shows 7 × 100 trainings fitting the
+  12-hour / 100-node allocation, and quantifies the nanny trade-off the
+  paper describes.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.distributed import LocalCluster, RandomFaults
+from repro.hpc import BatchJob, ClusterSimulation, TrainingRuntimeModel
+from repro.rng import ensure_rng
+
+
+def _wave(client, n_tasks: int, duration: float) -> None:
+    futures = client.map(lambda _: time.sleep(duration), range(n_tasks))
+    client.gather(futures, timeout=60)
+
+
+@pytest.mark.parametrize("n_workers", [1, 4, 8])
+def test_executor_scaling(benchmark, n_workers):
+    """Wall time for a fixed wave shrinks with worker count."""
+    with LocalCluster(n_workers=n_workers) as cluster:
+        client = cluster.client()
+        benchmark.pedantic(
+            _wave,
+            args=(client, 16, 0.01),
+            rounds=3,
+            iterations=1,
+        )
+
+
+def test_executor_speedup_is_real(benchmark):
+    from benchmarks.conftest import once
+
+    once(benchmark, lambda: None)
+    timings = {}
+    for n in (1, 8):
+        with LocalCluster(n_workers=n) as cluster:
+            client = cluster.client()
+            t0 = time.monotonic()
+            _wave(client, 16, 0.02)
+            timings[n] = time.monotonic() - t0
+    print()
+    print(
+        f"16-task wave: 1 worker {timings[1]:.2f}s, 8 workers "
+        f"{timings[8]:.2f}s ({timings[1] / timings[8]:.1f}x)"
+    )
+    assert timings[8] < timings[1] / 2.5
+
+
+def test_faulty_workers_still_complete(benchmark):
+    def run():
+        policy = RandomFaults(rate=0.08, max_failures=3, rng=0)
+        with LocalCluster(
+            n_workers=6, fault_policy=policy, max_retries=4
+        ) as cluster:
+            client = cluster.client()
+            futures = client.map(lambda x: x, range(60))
+            out = client.gather(futures, timeout=60)
+            stats = cluster.scheduler.stats()
+        return out, stats
+
+    out, stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(f"scheduler stats under faults: {stats}")
+    assert out == list(range(60))
+    assert stats["completed"] == 60
+
+
+def test_simulated_campaign_fits_allocation(benchmark):
+    """7 generations x 100 trainings on 100 nodes inside 12 hours."""
+    rng = ensure_rng(0)
+    model = TrainingRuntimeModel(rng=rng)
+    workloads = [
+        [model.runtime_minutes(r) for r in rng.uniform(6.0, 12.0, 100)]
+        for _ in range(7)
+    ]
+
+    def simulate():
+        sim = ClusterSimulation(
+            job=BatchJob(n_nodes=100, walltime_minutes=720.0),
+            runtime_model=model,
+            rng=1,
+        )
+        return sim.run_campaign(workloads)
+
+    report = benchmark.pedantic(simulate, rounds=1, iterations=1)
+    summary = report.summary()
+    print()
+    print(f"campaign simulation: {summary}")
+    assert not report.walltime_exceeded
+    assert report.evaluations_completed == 700
+    assert summary["total_hours"] < 12.0
+
+
+def test_nanny_tradeoff_quantified(benchmark):
+    from benchmarks.conftest import once
+
+    once(benchmark, lambda: None)
+    """§2.2.5: nannies only help for transient faults; with permanent
+    hardware faults they waste restarts.  Compare node retention."""
+    rng = ensure_rng(0)
+    model = TrainingRuntimeModel(rng=rng)
+    workloads = [[50.0] * 50] * 5
+
+    def run(nannies, transient_fraction):
+        sim = ClusterSimulation(
+            job=BatchJob(n_nodes=50, walltime_minutes=1e6),
+            runtime_model=model,
+            node_mtbf_minutes=2000.0,
+            nannies=nannies,
+            transient_fraction=transient_fraction,
+            max_retries=10,
+            rng=3,
+        )
+        return sim.run_campaign(workloads)
+
+    no_nanny = run(False, 0.0)
+    nanny_transient = run(True, 1.0)
+    print()
+    print(
+        f"nodes lost - no nannies: {no_nanny.nodes_lost}, "
+        f"nannies (transient faults): {nanny_transient.nodes_lost}"
+    )
+    # with fully transient faults nannies recover nodes
+    assert nanny_transient.nodes_lost <= no_nanny.nodes_lost
+    # either way no evaluation is lost: the scheduler requeues
+    assert no_nanny.evaluations_completed == 250

@@ -1,0 +1,56 @@
+"""Experiment ``table1`` — Table 1: the seven-gene representation.
+
+Regenerates the initialization ranges and mutation standard deviations
+and measures genome decoding throughput (the decode happens once per
+fitness evaluation, §2.2.2).
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.hpo.representation import DeepMDRepresentation, GENE_NAMES
+
+
+def test_table1_rows(benchmark):
+    rows = benchmark(DeepMDRepresentation.table1)
+    print()
+    print(
+        format_table(
+            [
+                {
+                    "hyperparameter": r["hyperparameter"],
+                    "initialization range": str(r["initialization range"]),
+                    "mutation std": r["mutation standard deviation"],
+                }
+                for r in rows
+            ],
+            title="Table 1 (reproduced)",
+        )
+    )
+    # exact Table 1 values
+    by_name = {r["hyperparameter"]: r for r in rows}
+    assert by_name["start_lr"]["initialization range"] == (3.51e-8, 0.01)
+    assert by_name["stop_lr"]["initialization range"] == (3.51e-8, 0.0001)
+    assert by_name["rcut"]["initialization range"] == (6.0, 12.0)
+    assert by_name["rcut_smth"]["initialization range"] == (2.0, 6.0)
+    assert by_name["start_lr"]["mutation standard deviation"] == 0.001
+    assert by_name["rcut"]["mutation standard deviation"] == 0.0625
+
+
+def test_decode_throughput(benchmark):
+    decoder = DeepMDRepresentation.decoder()
+    rng = np.random.default_rng(0)
+    ranges = DeepMDRepresentation.init_ranges
+    genomes = rng.uniform(
+        ranges[:, 0], ranges[:, 1], size=(1000, len(GENE_NAMES))
+    )
+
+    def decode_all():
+        return [decoder.decode(g) for g in genomes]
+
+    phenomes = benchmark(decode_all)
+    assert len(phenomes) == 1000
+    assert all(
+        p["scale_by_worker"] in ("linear", "sqrt", "none")
+        for p in phenomes
+    )

@@ -1,0 +1,40 @@
+"""Shared fixtures for the benchmark harness.
+
+``paper_campaign`` is the full-scale reproduction campaign (5 runs ×
+100 individuals × 7 generations = 3500 surrogate trainings) that
+Figs. 1–3 and Tables 2–3 are computed from; it is session-scoped so
+the analysis benches share one instance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hpo.campaign import Campaign, CampaignConfig, CampaignResult
+from repro.hpo.landscape import SurrogateDeepMDProblem
+
+PAPER_SEED = 2023
+
+
+def run_paper_campaign(seed: int = PAPER_SEED) -> CampaignResult:
+    config = CampaignConfig(
+        n_runs=5, pop_size=100, generations=6, base_seed=seed
+    )
+    return Campaign(
+        lambda s: SurrogateDeepMDProblem(seed=s), config
+    ).run()
+
+
+@pytest.fixture(scope="session")
+def paper_campaign() -> CampaignResult:
+    return run_paper_campaign()
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark fixture.
+
+    Used by shape-assertion benches whose computation should be timed
+    but not repeated (campaigns, comparisons); also keeps every bench
+    runnable under ``--benchmark-only``.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

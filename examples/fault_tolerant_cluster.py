@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""The Summit deployment mechanics (§2.2.5), demonstrated.
+
+Two views of the same operational questions:
+
+1. **Live executor** — run an evaluation wave over the Dask-like
+   scheduler/worker pool with injected node failures, with and without
+   nannies, and watch task reassignment keep the wave complete.
+2. **Discrete-event campaign simulation** — place the paper's full
+   workload (7 generations x 100 trainings on 100 nodes, 12-hour
+   walltime) on the simulated machine and report the envelope.
+
+Run:  python examples/fault_tolerant_cluster.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.distributed import LocalCluster, RandomFaults
+from repro.hpc import BatchJob, ClusterSimulation, TrainingRuntimeModel
+from repro.rng import ensure_rng
+
+
+def live_executor_demo() -> None:
+    print("=== live executor with injected node failures ===")
+
+    def fake_training(x: int) -> int:
+        time.sleep(0.01)
+        return x * x
+
+    for nannies in (False, True):
+        policy = RandomFaults(rate=0.10, max_failures=3, rng=0)
+        with LocalCluster(
+            n_workers=6,
+            use_nannies=nannies,
+            fault_policy=policy,
+            max_retries=4,
+        ) as cluster:
+            client = cluster.client()
+            futures = client.map(fake_training, range(60))
+            results = client.gather(futures, timeout=60)
+            stats = cluster.scheduler.stats()
+        ok = results == [x * x for x in range(60)]
+        print(
+            f"  nannies={'on ' if nannies else 'off'}: "
+            f"60/60 tasks correct={ok}, "
+            f"reassignments={stats['reassignments']}, "
+            f"workers left={stats['workers']}"
+        )
+    print(
+        "  (the paper disabled nannies: restarts cannot fix hardware "
+        "faults; the scheduler's reassignment is what matters)\n"
+    )
+
+
+def campaign_simulation_demo() -> None:
+    print("=== discrete-event simulation of the paper's allocation ===")
+    rng = ensure_rng(0)
+    runtime_model = TrainingRuntimeModel(rng=rng)
+    # the campaign's rcut values are uniform at generation 0 and drift
+    # upward as the EA discovers large cutoffs are needed
+    workloads = []
+    for gen in range(7):
+        lo = 6.0 + 0.5 * gen
+        rcuts = rng.uniform(lo, 12.0, size=100)
+        workloads.append(
+            [runtime_model.runtime_minutes(r) for r in rcuts]
+        )
+
+    rows = []
+    for label, mtbf, nannies in (
+        ("healthy machine", None, False),
+        ("MTBF 3000 min, no nannies", 3000.0, False),
+        ("MTBF 3000 min, nannies", 3000.0, True),
+    ):
+        sim = ClusterSimulation(
+            job=BatchJob(n_nodes=100, walltime_minutes=720.0),
+            runtime_model=runtime_model,
+            node_mtbf_minutes=mtbf,
+            nannies=nannies,
+            rng=1,
+        )
+        report = sim.run_campaign(workloads)
+        summary = report.summary()
+        rows.append(
+            {
+                "scenario": label,
+                "hours": summary["total_hours"],
+                "completed": summary["evaluations_completed"],
+                "node failures": summary["node_failures"],
+                "nodes lost": summary["nodes_lost"],
+                "fit in 12h": not report.walltime_exceeded,
+            }
+        )
+    print(format_table(rows))
+    print(
+        "\n  700 trainings (the paper's 5 jobs ran 3500 total) fit the "
+        "12-hour allocation with margin, matching §2.2.5's envelope"
+    )
+
+
+if __name__ == "__main__":
+    live_executor_demo()
+    campaign_simulation_demo()

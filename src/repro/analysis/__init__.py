@@ -1,0 +1,54 @@
+"""Regeneration of the paper's tables and figures.
+
+Each module maps to one artifact of §3:
+
+* :mod:`repro.analysis.levelplot` — Fig. 1 (energy vs force loss
+  distributions per generation, pooled over runs, with the paper's
+  outlier culling rule);
+* :mod:`repro.analysis.frontier` — Fig. 2 and Table 2 (the Pareto
+  frontier of the aggregated last generations);
+* :mod:`repro.analysis.parallel_coords` — Fig. 3 (per-solution
+  hyperparameters + losses + runtime + frontier membership, with
+  chemical-accuracy coloring);
+* :mod:`repro.analysis.selection` — Table 3 (three representative
+  chemically accurate solutions);
+* :mod:`repro.analysis.convergence` — the §3.1 convergence narrative
+  (distribution distances between consecutive generations);
+* :mod:`repro.analysis.report` — plain-text table rendering shared by
+  the benchmark harness and the examples.
+"""
+
+from repro.analysis.levelplot import LevelPlotData, generation_level_plots
+from repro.analysis.frontier import FrontierTable, frontier_table
+from repro.analysis.parallel_coords import (
+    ParallelCoordinatesData,
+    parallel_coordinates,
+)
+from repro.analysis.selection import Table3Row, table3_rows
+from repro.analysis.convergence import (
+    ConvergenceSummary,
+    convergence_summary,
+)
+from repro.analysis.report import format_table
+from repro.analysis.asciiplot import (
+    ascii_density,
+    ascii_histogram,
+    ascii_scatter,
+)
+
+__all__ = [
+    "LevelPlotData",
+    "generation_level_plots",
+    "FrontierTable",
+    "frontier_table",
+    "ParallelCoordinatesData",
+    "parallel_coordinates",
+    "Table3Row",
+    "table3_rows",
+    "ConvergenceSummary",
+    "convergence_summary",
+    "format_table",
+    "ascii_density",
+    "ascii_scatter",
+    "ascii_histogram",
+]

@@ -1,0 +1,136 @@
+"""Terminal-renderable plots.
+
+The benchmark harness and CLI run in environments without plotting
+libraries, so the figure data (§3's level plots and frontier scatter)
+is rendered as character grids: density maps for Fig. 1 and scatter
+plots with a highlighted frontier for Fig. 2.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+#: density glyphs from sparse to dense
+_SHADES = " .:-=+*#%@"
+
+
+def ascii_density(
+    x: np.ndarray,
+    y: np.ndarray,
+    width: int = 60,
+    height: int = 20,
+    x_range: Optional[tuple[float, float]] = None,
+    y_range: Optional[tuple[float, float]] = None,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """A 2-D histogram rendered as shaded characters (Fig. 1 panels).
+
+    The y axis increases upward; axis extents are printed on the frame.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValueError("x and y must have the same shape")
+    if x_range is None:
+        x_range = (float(x.min()), float(x.max())) if len(x) else (0, 1)
+    if y_range is None:
+        y_range = (float(y.min()), float(y.max())) if len(y) else (0, 1)
+    if x_range[1] <= x_range[0] or y_range[1] <= y_range[0]:
+        x_range = (x_range[0], x_range[0] + 1.0)
+        y_range = (y_range[0], y_range[0] + 1.0)
+    hist, _, _ = np.histogram2d(
+        x,
+        y,
+        bins=[width, height],
+        range=[list(x_range), list(y_range)],
+    )
+    if hist.max() > 0:
+        levels = np.ceil(
+            hist / hist.max() * (len(_SHADES) - 1)
+        ).astype(int)
+    else:
+        levels = hist.astype(int)
+    lines = []
+    lines.append(
+        f"{y_label} in [{y_range[0]:.4g}, {y_range[1]:.4g}]  "
+        f"({len(x)} points)"
+    )
+    lines.append("+" + "-" * width + "+")
+    for row in range(height - 1, -1, -1):
+        chars = "".join(
+            _SHADES[levels[col, row]] for col in range(width)
+        )
+        lines.append("|" + chars + "|")
+    lines.append("+" + "-" * width + "+")
+    lines.append(
+        f"{x_label} in [{x_range[0]:.4g}, {x_range[1]:.4g}]"
+    )
+    return "\n".join(lines)
+
+
+def ascii_scatter(
+    points: Sequence[tuple[float, float]],
+    highlight: Sequence[tuple[float, float]] = (),
+    width: int = 60,
+    height: int = 20,
+    x_label: str = "x",
+    y_label: str = "y",
+    point_char: str = "·",
+    highlight_char: str = "O",
+) -> str:
+    """Scatter plot with an optional highlighted subset (Fig. 2: the
+    population in dots, the frontier as ``O``)."""
+    pts = np.asarray(points, dtype=np.float64).reshape(-1, 2)
+    hi = np.asarray(highlight, dtype=np.float64).reshape(-1, 2)
+    all_pts = np.vstack([pts, hi]) if len(hi) else pts
+    if len(all_pts) == 0:
+        return "(no points)"
+    x_min, x_max = float(all_pts[:, 0].min()), float(all_pts[:, 0].max())
+    y_min, y_max = float(all_pts[:, 1].min()), float(all_pts[:, 1].max())
+    if x_max <= x_min:
+        x_max = x_min + 1.0
+    if y_max <= y_min:
+        y_max = y_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(arr: np.ndarray, char: str) -> None:
+        for px, py in arr:
+            col = int((px - x_min) / (x_max - x_min) * (width - 1))
+            row = int((py - y_min) / (y_max - y_min) * (height - 1))
+            grid[height - 1 - row][col] = char
+
+    place(pts, point_char)
+    place(hi, highlight_char)
+    lines = [
+        f"{y_label} in [{y_min:.4g}, {y_max:.4g}]",
+        "+" + "-" * width + "+",
+    ]
+    for row in grid:
+        lines.append("|" + "".join(row) + "|")
+    lines.append("+" + "-" * width + "+")
+    lines.append(f"{x_label} in [{x_min:.4g}, {x_max:.4g}]")
+    return "\n".join(lines)
+
+
+def ascii_histogram(
+    values: np.ndarray,
+    bins: int = 20,
+    width: int = 50,
+    label: str = "",
+) -> str:
+    """Horizontal-bar histogram (runtime distributions, gene profiles)."""
+    values = np.asarray(values, dtype=np.float64)
+    values = values[np.isfinite(values)]
+    if len(values) == 0:
+        return "(no finite values)"
+    counts, edges = np.histogram(values, bins=bins)
+    peak = counts.max() if counts.max() > 0 else 1
+    lines = [label] if label else []
+    for count, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(round(count / peak * width))
+        lines.append(f"{lo:>10.4g} - {hi:<10.4g} |{bar} {count}")
+    return "\n".join(lines)

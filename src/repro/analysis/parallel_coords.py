@@ -1,0 +1,86 @@
+"""Fig. 3 — parallel-coordinates data for the final solution set.
+
+One line per final-generation solution carrying all seven decoded
+hyperparameters, the runtime in minutes, both losses, whether the
+solution sits on the exact Pareto frontier, and whether it is
+chemically accurate (the blue/grey coloring).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.evo.individual import Individual
+from repro.hpo.campaign import CampaignResult
+from repro.hpo.chemical import chemically_accurate
+from repro.hpo.representation import GENE_NAMES
+from repro.mo.pareto import pareto_front
+
+AXES: tuple[str, ...] = GENE_NAMES + (
+    "runtime_minutes",
+    "energy_loss",
+    "force_loss",
+    "on_frontier",
+    "chemically_accurate",
+)
+
+
+@dataclass
+class ParallelCoordinatesData:
+    """The Fig. 3 dataset."""
+
+    rows: list[dict[str, Any]]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def accurate_rows(self) -> list[dict[str, Any]]:
+        """The blue lines."""
+        return [r for r in self.rows if r["chemically_accurate"]]
+
+    def axis_values(self, axis: str) -> list[Any]:
+        if axis not in AXES:
+            raise KeyError(f"unknown axis {axis!r}; expected one of {AXES}")
+        return [r[axis] for r in self.rows]
+
+    def categorical_counts(
+        self, axis: str, accurate_only: bool = False
+    ) -> dict[str, int]:
+        """How often each category appears (the §3.2 narrative data:
+        which activations survive, which scaling wins)."""
+        rows = self.accurate_rows() if accurate_only else self.rows
+        counts: dict[str, int] = {}
+        for r in rows:
+            counts[r[axis]] = counts.get(r[axis], 0) + 1
+        return counts
+
+
+def parallel_coordinates(
+    source: CampaignResult | Sequence[Individual],
+) -> ParallelCoordinatesData:
+    """Build Fig. 3's line data from the final solution dataset."""
+    if isinstance(source, CampaignResult):
+        pool = source.last_generation_individuals()
+    else:
+        pool = list(source)
+    frontier_ids = {id(ind) for ind in pareto_front(pool)}
+    rows: list[dict[str, Any]] = []
+    for ind in pool:
+        if ind.fitness is None or not ind.is_viable:
+            continue
+        phenome = ind.metadata.get("phenome")
+        if phenome is None:
+            phenome = ind.decode()
+        row: dict[str, Any] = {name: phenome[name] for name in GENE_NAMES}
+        row["runtime_minutes"] = float(
+            ind.metadata.get("runtime_minutes", np.nan)
+        )
+        row["energy_loss"] = float(ind.fitness[0])
+        row["force_loss"] = float(ind.fitness[1])
+        row["on_frontier"] = id(ind) in frontier_ids
+        row["chemically_accurate"] = chemically_accurate(ind)
+        rows.append(row)
+    return ParallelCoordinatesData(rows=rows)

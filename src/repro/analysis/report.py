@@ -1,0 +1,44 @@
+"""Plain-text table rendering.
+
+The benchmark harness prints every reproduced table/figure as ASCII
+rows so results can be diffed against EXPERIMENTS.md without plotting
+dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) < 1e-3 or abs(value) >= 1e5:
+            return f"{value:.3e}"
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[dict[str, Any]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render dict rows as an aligned ASCII table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(empty)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    rendered = [[_fmt(row.get(c, "")) for c in cols] for row in rows]
+    widths = [
+        max(len(c), *(len(r[i]) for r in rendered))
+        for i, c in enumerate(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(c.ljust(w) for c, w in zip(cols, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""Table 3 — three selected chemically accurate solutions.
+
+"Parameter values for three selected chemically-accurate solutions
+found in the last NSGA-II generations across the five runs, showing
+the solution with lowest force loss, lowest energy loss, and lowest
+runtime."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+from repro.evo.individual import Individual
+from repro.hpo.campaign import CampaignResult
+from repro.hpo.chemical import select_representatives
+from repro.hpo.representation import GENE_NAMES
+
+
+@dataclass
+class Table3Row:
+    """One column of the paper's Table 3 (one selected solution)."""
+
+    criterion: str
+    individual: Optional[Individual]
+
+    def as_dict(self) -> dict[str, Any]:
+        if self.individual is None:
+            return {"criterion": self.criterion, "found": False}
+        ind = self.individual
+        phenome = ind.metadata.get("phenome") or ind.decode()
+        out: dict[str, Any] = {"criterion": self.criterion, "found": True}
+        for name in GENE_NAMES:
+            out[name] = phenome[name]
+        out["runtime (min.)"] = float(
+            ind.metadata.get("runtime_minutes", float("nan"))
+        )
+        out["energy loss (eV/atom)"] = float(ind.fitness[0])
+        out["force loss (eV/A)"] = float(ind.fitness[1])
+        return out
+
+
+def table3_rows(
+    source: CampaignResult | Sequence[Individual],
+) -> list[Table3Row]:
+    """Select the three representatives from the final solution set."""
+    if isinstance(source, CampaignResult):
+        pool = source.last_generation_individuals()
+    else:
+        pool = list(source)
+    reps = select_representatives(pool)
+    return [
+        Table3Row(criterion="lowest force loss", individual=reps["lowest_force"]),
+        Table3Row(
+            criterion="lowest energy loss", individual=reps["lowest_energy"]
+        ),
+        Table3Row(
+            criterion="lowest runtime", individual=reps["lowest_runtime"]
+        ),
+    ]

@@ -1,0 +1,81 @@
+"""Tape-based reverse-mode automatic differentiation over NumPy arrays.
+
+This subpackage stands in for TensorFlow in the reproduction: the
+DeepPot-SE potential (``repro.deepmd``) predicts atomic forces as the
+negative gradient of the predicted energy with respect to atomic
+displacements, and the training loss penalizes force errors — so the
+engine must support **double-backward** (differentiating a function of
+first-order gradients with respect to the parameters).  Every
+primitive's vector-Jacobian product is itself expressed in terms of
+:class:`Tensor` operations, which makes gradients of gradients work by
+construction.
+
+Typical usage::
+
+    from repro import autodiff as ad
+
+    x = ad.Tensor([1.0, 2.0], requires_grad=True)
+    y = (x * x).sum()
+    (gx,) = ad.grad(y, [x], create_graph=True)   # gx = 2x, differentiable
+    z = (gx * gx).sum()                          # function of the gradient
+    z.backward()                                 # d z / d x = 8x
+"""
+
+from repro.autodiff.tensor import (
+    Tensor,
+    as_tensor,
+    grad,
+    is_grad_enabled,
+    no_grad,
+)
+from repro.autodiff import functional
+from repro.autodiff.functional import (
+    concatenate,
+    exp,
+    index_add,
+    log,
+    matmul,
+    maximum,
+    mean,
+    minimum,
+    relu,
+    relu6,
+    sigmoid,
+    softplus,
+    sqrt,
+    stack,
+    sum as tsum,
+    take,
+    tanh,
+    where,
+)
+from repro.autodiff.gradcheck import check_gradients, numerical_gradient
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "grad",
+    "no_grad",
+    "is_grad_enabled",
+    "functional",
+    "exp",
+    "log",
+    "sqrt",
+    "tanh",
+    "sigmoid",
+    "softplus",
+    "relu",
+    "relu6",
+    "maximum",
+    "minimum",
+    "where",
+    "matmul",
+    "mean",
+    "tsum",
+    "take",
+    "index_add",
+    "concatenate",
+    "stack",
+    "check_gradients",
+    "numerical_gradient",
+]

@@ -1,0 +1,554 @@
+"""Differentiable primitives.
+
+Every function here returns a :class:`~repro.autodiff.tensor.Tensor`
+whose vector-Jacobian product is written in terms of other primitives,
+which is what makes second-order differentiation (needed for force
+training) work without any special casing.
+
+Numerical-stability notes are attached to the activations: ``softplus``
+and ``sigmoid`` use the standard exp-overflow-safe forms since the HPO
+search deliberately wanders into extreme learning rates that push
+pre-activations far from zero.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.autodiff.tensor import ArrayLike, Tensor, as_tensor, make_op
+
+__all__ = [
+    "add",
+    "sub",
+    "mul",
+    "div",
+    "neg",
+    "power",
+    "exp",
+    "log",
+    "sqrt",
+    "square",
+    "abs",
+    "tanh",
+    "sigmoid",
+    "softplus",
+    "relu",
+    "relu6",
+    "maximum",
+    "minimum",
+    "where",
+    "clip",
+    "matmul",
+    "sum",
+    "mean",
+    "reshape",
+    "transpose",
+    "swapaxes",
+    "getitem",
+    "take",
+    "index_add",
+    "concatenate",
+    "stack",
+    "unbroadcast",
+    "dot",
+]
+
+_py_sum = sum
+_py_abs = abs
+
+
+def unbroadcast(t: Tensor, shape: tuple[int, ...]) -> Tensor:
+    """Reduce ``t`` to ``shape`` by summing broadcast axes (differentiable)."""
+    if t.shape == tuple(shape):
+        return t
+    extra = t.ndim - len(shape)
+    if extra > 0:
+        t = sum(t, axis=tuple(range(extra)))
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and t.shape[i] != 1)
+    if axes:
+        t = sum(t, axis=axes, keepdims=True)
+    return reshape(t, tuple(shape))
+
+
+# ----------------------------------------------------------------------
+# arithmetic
+# ----------------------------------------------------------------------
+def add(a: ArrayLike, b: ArrayLike) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+
+    def vjp(g: Tensor):
+        return unbroadcast(g, a.shape), unbroadcast(g, b.shape)
+
+    return make_op(a.data + b.data, (a, b), vjp, "add")
+
+
+def sub(a: ArrayLike, b: ArrayLike) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+
+    def vjp(g: Tensor):
+        return unbroadcast(g, a.shape), unbroadcast(neg(g), b.shape)
+
+    return make_op(a.data - b.data, (a, b), vjp, "sub")
+
+
+def mul(a: ArrayLike, b: ArrayLike) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+
+    def vjp(g: Tensor):
+        return unbroadcast(mul(g, b), a.shape), unbroadcast(mul(g, a), b.shape)
+
+    return make_op(a.data * b.data, (a, b), vjp, "mul")
+
+
+def div(a: ArrayLike, b: ArrayLike) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+
+    def vjp(g: Tensor):
+        ga = div(g, b)
+        gb = neg(div(mul(g, a), mul(b, b)))
+        return unbroadcast(ga, a.shape), unbroadcast(gb, b.shape)
+
+    return make_op(a.data / b.data, (a, b), vjp, "div")
+
+
+def neg(a: ArrayLike) -> Tensor:
+    a = as_tensor(a)
+
+    def vjp(g: Tensor):
+        return (neg(g),)
+
+    return make_op(-a.data, (a,), vjp, "neg")
+
+
+def power(a: ArrayLike, exponent: float) -> Tensor:
+    """Elementwise ``a ** exponent`` for a constant (non-tensor) exponent."""
+    a = as_tensor(a)
+    p = float(exponent)
+
+    def vjp(g: Tensor):
+        return (mul(g, mul(power(a, p - 1.0), p)),)
+
+    return make_op(a.data**p, (a,), vjp, "power")
+
+
+def square(a: ArrayLike) -> Tensor:
+    a = as_tensor(a)
+    return mul(a, a)
+
+
+def exp(a: ArrayLike) -> Tensor:
+    a = as_tensor(a)
+    out_data = np.exp(a.data)
+
+    def vjp(g: Tensor):
+        return (mul(g, out),)
+
+    out = make_op(out_data, (a,), vjp, "exp")
+    return out
+
+
+def log(a: ArrayLike) -> Tensor:
+    a = as_tensor(a)
+
+    def vjp(g: Tensor):
+        return (div(g, a),)
+
+    return make_op(np.log(a.data), (a,), vjp, "log")
+
+
+def sqrt(a: ArrayLike) -> Tensor:
+    a = as_tensor(a)
+    out_data = np.sqrt(a.data)
+
+    def vjp(g: Tensor):
+        return (div(g, mul(out, 2.0)),)
+
+    out = make_op(out_data, (a,), vjp, "sqrt")
+    return out
+
+
+def abs(a: ArrayLike) -> Tensor:  # noqa: A001 - mirrors numpy naming
+    a = as_tensor(a)
+    sign = np.sign(a.data)
+
+    def vjp(g: Tensor):
+        return (mul(g, Tensor(sign)),)
+
+    return make_op(np.abs(a.data), (a,), vjp, "abs")
+
+
+# ----------------------------------------------------------------------
+# activations (the five searched over in the paper, §2.2.1)
+# ----------------------------------------------------------------------
+def tanh(a: ArrayLike) -> Tensor:
+    a = as_tensor(a)
+    out_data = np.tanh(a.data)
+
+    def vjp(g: Tensor):
+        return (mul(g, sub(1.0, mul(out, out))),)
+
+    out = make_op(out_data, (a,), vjp, "tanh")
+    return out
+
+
+def _sigmoid_data(x: np.ndarray) -> np.ndarray:
+    # exp-overflow-safe logistic
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def sigmoid(a: ArrayLike) -> Tensor:
+    a = as_tensor(a)
+    out_data = _sigmoid_data(a.data)
+
+    def vjp(g: Tensor):
+        return (mul(g, mul(out, sub(1.0, out))),)
+
+    out = make_op(out_data, (a,), vjp, "sigmoid")
+    return out
+
+
+def softplus(a: ArrayLike) -> Tensor:
+    """``log(1 + exp(x))`` computed as ``max(x, 0) + log1p(exp(-|x|))``."""
+    a = as_tensor(a)
+    x = a.data
+    out_data = np.maximum(x, 0.0) + np.log1p(np.exp(-np.abs(x)))
+
+    def vjp(g: Tensor):
+        return (mul(g, sigmoid(a)),)
+
+    return make_op(out_data, (a,), vjp, "softplus")
+
+
+def relu(a: ArrayLike) -> Tensor:
+    a = as_tensor(a)
+    mask = (a.data > 0.0).astype(np.float64)
+
+    def vjp(g: Tensor):
+        return (mul(g, Tensor(mask)),)
+
+    return make_op(a.data * mask, (a,), vjp, "relu")
+
+
+def relu6(a: ArrayLike) -> Tensor:
+    """``min(max(x, 0), 6)`` — the capped ReLU searched by the paper."""
+    a = as_tensor(a)
+    mask = ((a.data > 0.0) & (a.data < 6.0)).astype(np.float64)
+
+    def vjp(g: Tensor):
+        return (mul(g, Tensor(mask)),)
+
+    return make_op(np.clip(a.data, 0.0, 6.0), (a,), vjp, "relu6")
+
+
+def maximum(a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Elementwise max; ties send the full gradient to ``a``."""
+    a, b = as_tensor(a), as_tensor(b)
+    take_a = (a.data >= b.data).astype(np.float64)
+
+    def vjp(g: Tensor):
+        ga = mul(g, Tensor(take_a))
+        gb = mul(g, Tensor(1.0 - take_a))
+        return unbroadcast(ga, a.shape), unbroadcast(gb, b.shape)
+
+    return make_op(np.maximum(a.data, b.data), (a, b), vjp, "maximum")
+
+
+def minimum(a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Elementwise min; ties send the full gradient to ``a``."""
+    a, b = as_tensor(a), as_tensor(b)
+    take_a = (a.data <= b.data).astype(np.float64)
+
+    def vjp(g: Tensor):
+        ga = mul(g, Tensor(take_a))
+        gb = mul(g, Tensor(1.0 - take_a))
+        return unbroadcast(ga, a.shape), unbroadcast(gb, b.shape)
+
+    return make_op(np.minimum(a.data, b.data), (a, b), vjp, "minimum")
+
+
+def where(cond: np.ndarray, a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Select ``a`` where ``cond`` (a constant boolean array) else ``b``."""
+    a, b = as_tensor(a), as_tensor(b)
+    c = np.asarray(cond, dtype=bool)
+    cf = c.astype(np.float64)
+
+    def vjp(g: Tensor):
+        ga = mul(g, Tensor(cf))
+        gb = mul(g, Tensor(1.0 - cf))
+        return unbroadcast(ga, a.shape), unbroadcast(gb, b.shape)
+
+    return make_op(np.where(c, a.data, b.data), (a, b), vjp, "where")
+
+
+def clip(a: ArrayLike, lo: float, hi: float) -> Tensor:
+    a = as_tensor(a)
+    mask = ((a.data > lo) & (a.data < hi)).astype(np.float64)
+
+    def vjp(g: Tensor):
+        return (mul(g, Tensor(mask)),)
+
+    return make_op(np.clip(a.data, lo, hi), (a,), vjp, "clip")
+
+
+# ----------------------------------------------------------------------
+# linear algebra / reductions / shape
+# ----------------------------------------------------------------------
+def matmul(a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Batched matrix multiplication with NumPy broadcasting semantics.
+
+    Supports 1-D operands with the usual promotion rules; batch
+    dimensions broadcast, and gradients are summed back down.
+    """
+    a, b = as_tensor(a), as_tensor(b)
+    a_vec = a.ndim == 1
+    b_vec = b.ndim == 1
+
+    def vjp(g: Tensor):
+        ga: Optional[Tensor]
+        gb: Optional[Tensor]
+        a2 = reshape(a, (1, -1)) if a_vec else a
+        b2 = reshape(b, (-1, 1)) if b_vec else b
+        if a_vec and b_vec:
+            g2 = reshape(g, (1, 1))
+        elif a_vec:
+            # (n,) @ (..., n, m) -> (..., m); lift g to (..., 1, m)
+            g2 = reshape(g, g.shape[:-1] + (1, g.shape[-1]))
+        elif b_vec:
+            g2 = reshape(g, g.shape + (1,))
+        else:
+            g2 = g
+        ga = matmul(g2, swapaxes(b2, -1, -2))
+        gb = matmul(swapaxes(a2, -1, -2), g2)
+        if a_vec:
+            ga = reshape(unbroadcast(ga, (1, a.shape[0])), a.shape)
+        else:
+            ga = unbroadcast(ga, a.shape)
+        if b_vec:
+            gb = reshape(unbroadcast(gb, (b.shape[0], 1)), b.shape)
+        else:
+            gb = unbroadcast(gb, b.shape)
+        return ga, gb
+
+    return make_op(a.data @ b.data, (a, b), vjp, "matmul")
+
+
+def dot(a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Inner product of two 1-D tensors."""
+    a, b = as_tensor(a), as_tensor(b)
+    if a.ndim != 1 or b.ndim != 1:
+        raise ValueError("dot expects 1-D tensors; use matmul for matrices")
+    return sum(mul(a, b))
+
+
+def sum(  # noqa: A001 - mirrors numpy naming
+    a: ArrayLike,
+    axis: Union[None, int, tuple[int, ...]] = None,
+    keepdims: bool = False,
+) -> Tensor:
+    a = as_tensor(a)
+    out_data = a.data.sum(axis=axis, keepdims=keepdims)
+    in_shape = a.shape
+
+    if axis is None:
+        axes: tuple[int, ...] = tuple(range(a.ndim))
+    elif isinstance(axis, int):
+        axes = (axis % a.ndim,)
+    else:
+        axes = tuple(ax % a.ndim for ax in axis)
+
+    def vjp(g: Tensor):
+        if not keepdims:
+            shape_kept = tuple(
+                1 if i in axes else s for i, s in enumerate(in_shape)
+            )
+            g = reshape(g, shape_kept)
+        return (broadcast_to(g, in_shape),)
+
+    return make_op(out_data, (a,), vjp, "sum")
+
+
+def mean(
+    a: ArrayLike,
+    axis: Union[None, int, tuple[int, ...]] = None,
+    keepdims: bool = False,
+) -> Tensor:
+    a = as_tensor(a)
+    if axis is None:
+        count = a.size
+    elif isinstance(axis, int):
+        count = a.shape[axis]
+    else:
+        count = 1
+        for ax in axis:
+            count *= a.shape[ax]
+    return div(sum(a, axis=axis, keepdims=keepdims), float(count))
+
+
+def broadcast_to(a: ArrayLike, shape: tuple[int, ...]) -> Tensor:
+    a = as_tensor(a)
+    in_shape = a.shape
+
+    def vjp(g: Tensor):
+        return (unbroadcast(g, in_shape),)
+
+    return make_op(
+        np.broadcast_to(a.data, shape).copy(), (a,), vjp, "broadcast_to"
+    )
+
+
+def reshape(a: ArrayLike, shape: tuple[int, ...]) -> Tensor:
+    a = as_tensor(a)
+    in_shape = a.shape
+
+    def vjp(g: Tensor):
+        return (reshape(g, in_shape),)
+
+    return make_op(a.data.reshape(shape), (a,), vjp, "reshape")
+
+
+def transpose(a: ArrayLike, axes: Optional[Sequence[int]] = None) -> Tensor:
+    a = as_tensor(a)
+    if axes is None:
+        axes = tuple(reversed(range(a.ndim)))
+    axes = tuple(axes)
+    inverse = tuple(np.argsort(axes))
+
+    def vjp(g: Tensor):
+        return (transpose(g, inverse),)
+
+    return make_op(a.data.transpose(axes), (a,), vjp, "transpose")
+
+
+def swapaxes(a: ArrayLike, ax1: int, ax2: int) -> Tensor:
+    a = as_tensor(a)
+
+    def vjp(g: Tensor):
+        return (swapaxes(g, ax1, ax2),)
+
+    return make_op(a.data.swapaxes(ax1, ax2), (a,), vjp, "swapaxes")
+
+
+def getitem(a: ArrayLike, idx) -> Tensor:
+    """Basic and advanced indexing; backward scatter-adds into zeros."""
+    a = as_tensor(a)
+    in_shape = a.shape
+
+    def vjp(g: Tensor):
+        return (_scatter(g, idx, in_shape),)
+
+    return make_op(a.data[idx], (a,), vjp, "getitem")
+
+
+def _scatter(g: Tensor, idx, shape: tuple[int, ...]) -> Tensor:
+    """Place ``g`` into a zero tensor of ``shape`` at ``idx`` (add-mode)."""
+    zero = Tensor(np.zeros(shape))
+    return _scatter_add(zero, idx, g)
+
+
+def _scatter_add(base: Tensor, idx, values: Tensor) -> Tensor:
+    base, values = as_tensor(base), as_tensor(values)
+
+    def vjp(g: Tensor):
+        return g, getitem(g, idx)
+
+    out_data = base.data.copy()
+    np.add.at(out_data, idx, values.data)
+    return make_op(out_data, (base, values), vjp, "scatter_add")
+
+
+def take(a: ArrayLike, indices: np.ndarray, axis: int = 0) -> Tensor:
+    """Gather rows along ``axis`` with an integer index array."""
+    a = as_tensor(a)
+    indices = np.asarray(indices)
+    in_shape = a.shape
+
+    def vjp(g: Tensor):
+        return (_take_adjoint(g, indices, in_shape, axis),)
+
+    return make_op(np.take(a.data, indices, axis=axis), (a,), vjp, "take")
+
+
+def _take_adjoint(
+    g: Tensor, indices: np.ndarray, shape: tuple[int, ...], axis: int
+) -> Tensor:
+    """Adjoint of :func:`take`: scatter-add ``g`` back along ``axis``."""
+    g = as_tensor(g)
+
+    def vjp(gg: Tensor):
+        return (take(gg, indices, axis=axis),)
+
+    out_data = np.zeros(shape)
+    if axis == 0:
+        np.add.at(out_data, indices, g.data)
+    else:
+        moved = np.moveaxis(out_data, axis, 0)
+        np.add.at(moved, indices, np.moveaxis(g.data, axis, 0))
+        out_data = np.moveaxis(moved, 0, axis)
+    return make_op(out_data, (g,), vjp, "take_adjoint")
+
+
+def index_add(
+    base: ArrayLike, indices: np.ndarray, values: ArrayLike, axis: int = 0
+) -> Tensor:
+    """``base`` with ``values`` scatter-added at ``indices`` along ``axis``.
+
+    This is the primitive used to accumulate per-pair force
+    contributions onto per-atom force vectors; its adjoint w.r.t.
+    ``values`` is a gather, so the whole force pipeline stays twice
+    differentiable.
+    """
+    base, values = as_tensor(base), as_tensor(values)
+    indices = np.asarray(indices)
+
+    def vjp(g: Tensor):
+        return g, take(g, indices, axis=axis)
+
+    out_data = base.data.copy()
+    if axis == 0:
+        np.add.at(out_data, indices, values.data)
+    else:
+        moved = np.moveaxis(out_data, axis, 0)
+        np.add.at(moved, indices, np.moveaxis(values.data, axis, 0))
+        out_data = np.moveaxis(moved, 0, axis)
+    return make_op(out_data, (base, values), vjp, "index_add")
+
+
+def concatenate(tensors: Sequence[ArrayLike], axis: int = 0) -> Tensor:
+    ts = [as_tensor(t) for t in tensors]
+    sizes = [t.shape[axis] for t in ts]
+    offsets = np.cumsum([0] + sizes)
+
+    def vjp(g: Tensor):
+        outs = []
+        for i in range(len(ts)):
+            sl = [slice(None)] * g.ndim
+            sl[axis] = slice(int(offsets[i]), int(offsets[i + 1]))
+            outs.append(getitem(g, tuple(sl)))
+        return tuple(outs)
+
+    return make_op(
+        np.concatenate([t.data for t in ts], axis=axis), tuple(ts), vjp, "concat"
+    )
+
+
+def stack(tensors: Sequence[ArrayLike], axis: int = 0) -> Tensor:
+    ts = [as_tensor(t) for t in tensors]
+
+    def vjp(g: Tensor):
+        outs = []
+        for i in range(len(ts)):
+            sl = [slice(None)] * g.ndim
+            sl[axis] = i
+            outs.append(getitem(g, tuple(sl)))
+        return tuple(outs)
+
+    return make_op(
+        np.stack([t.data for t in ts], axis=axis), tuple(ts), vjp, "stack"
+    )

@@ -1,0 +1,60 @@
+"""LEAP-style global run-time context.
+
+LEAP maintains a module-level ``context`` dictionary that pipeline
+operators consult for shared mutable state; the paper stores the
+per-gene Gaussian-mutation standard deviations there
+(``context['std']``, Listing 1) and multiplies them by 0.85 after each
+generation.  We reproduce the same mechanism but also provide a
+:class:`Context` class so tests and concurrent campaigns can use
+isolated instances instead of cross-talking through the global.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, MutableMapping
+
+
+class Context(MutableMapping[str, Any]):
+    """A namespaced mutable mapping for run-time EA state.
+
+    Behaves like a plain ``dict`` but supports snapshot/restore, which
+    the multi-run campaign manager uses to guarantee that one EA run's
+    annealed mutation state never leaks into the next run.
+    """
+
+    def __init__(self, **initial: Any) -> None:
+        self._data: dict[str, Any] = dict(initial)
+
+    def __getitem__(self, key: str) -> Any:
+        return self._data[key]
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        self._data[key] = value
+
+    def __delitem__(self, key: str) -> None:
+        del self._data[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Context({self._data!r})"
+
+    def snapshot(self) -> dict[str, Any]:
+        """Shallow copy of the current state."""
+        return dict(self._data)
+
+    def restore(self, snap: dict[str, Any]) -> None:
+        """Replace current state with ``snap``."""
+        self._data = dict(snap)
+
+    def reset(self) -> None:
+        """Drop all state."""
+        self._data.clear()
+
+
+#: The module-level default context, mirroring ``leap_ec.context``.
+context: Context = Context()

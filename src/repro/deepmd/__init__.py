@@ -1,0 +1,67 @@
+"""A DeePMD-kit-style deep-potential trainer (Deep Potential Smooth Edition).
+
+Reproduces, at laptop scale, every mechanism of DeePMD-kit v2.1.4 that
+the paper's hyperparameter search acts on:
+
+* the **DeepPot-SE smooth descriptor** with its two radial cutoffs —
+  the hard cutoff ``rcut`` and the smoothing onset ``rcut_smth``
+  (§2.2.1): the searched genes that control the local-environment
+  matrix;
+* separate **embedding and fitting networks** whose activation
+  functions are searched over {relu, relu6, softplus, sigmoid, tanh};
+* energies as sums of per-atom contributions and **forces as exact
+  negative gradients** of the predicted energy (via
+  :mod:`repro.autodiff` double-backward, so the force loss trains);
+* the **exponentially decaying learning rate** between ``start_lr`` and
+  ``stop_lr`` with per-worker scaling {linear, sqrt, none};
+* the **energy/force loss** with learning-rate-coupled prefactors
+  (0.02, 1000, 1, 1 as in §2.1.2);
+* the operational surface the EA drives: ``input.json`` templates
+  filled with :class:`string.Template`, UUID-named run directories,
+  the ``dp train`` command-line entry point, and the ``lcurve.out``
+  training-statistics file whose last ``rmse_e_val`` / ``rmse_f_val``
+  values become the two fitness objectives (§2.2.4).
+"""
+
+from repro.deepmd.descriptor import (
+    DescriptorConfig,
+    SmoothDescriptor,
+    smooth_switch,
+)
+from repro.deepmd.model import DeepPotModel, ModelConfig
+from repro.deepmd.data import DescriptorBatch, prepare_batches
+from repro.deepmd.training import Trainer, TrainingConfig, TrainingResult
+from repro.deepmd.lcurve import LCurve, read_lcurve, write_lcurve
+from repro.deepmd.input_config import (
+    InputConfig,
+    default_input_template,
+    render_input_json,
+)
+from repro.deepmd.runner import TrainingRun, run_training
+from repro.deepmd.calculator import (
+    DeepPotCalculator,
+    force_rmse_along_trajectory,
+)
+
+__all__ = [
+    "smooth_switch",
+    "DescriptorConfig",
+    "SmoothDescriptor",
+    "ModelConfig",
+    "DeepPotModel",
+    "DescriptorBatch",
+    "prepare_batches",
+    "Trainer",
+    "TrainingConfig",
+    "TrainingResult",
+    "LCurve",
+    "read_lcurve",
+    "write_lcurve",
+    "InputConfig",
+    "default_input_template",
+    "render_input_json",
+    "TrainingRun",
+    "run_training",
+    "DeepPotCalculator",
+    "force_rmse_along_trajectory",
+]

@@ -1,0 +1,102 @@
+"""Descriptor-ready batches built from frame datasets.
+
+Neighbor lists depend on the descriptor's ``rcut`` — itself a searched
+hyperparameter — so batch preparation happens per training run.  All
+frames in a batch are padded to a common neighbor width and stacked so
+the whole forward/backward pass is vectorized across the batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.md.cell import PeriodicCell
+from repro.md.dataset import Frame
+from repro.md.neighbors import NeighborList
+
+
+@dataclass
+class DescriptorBatch:
+    """Stacked, padded descriptor inputs for a set of frames.
+
+    Attributes
+    ----------
+    displacements:
+        ``(n_frames, n_atoms, max_nbr, 3)`` displacement vectors.
+    neighbor_indices:
+        ``(n_frames, n_atoms, max_nbr)`` central-cell neighbor indices.
+    mask:
+        ``(n_frames, n_atoms, max_nbr)`` validity mask.
+    species:
+        ``(n_atoms,)`` species indices (identical across frames).
+    energies / forces:
+        Reference labels, ``(n_frames,)`` and ``(n_frames, n_atoms, 3)``.
+    """
+
+    displacements: np.ndarray
+    neighbor_indices: np.ndarray
+    mask: np.ndarray
+    species: np.ndarray
+    energies: np.ndarray
+    forces: np.ndarray
+
+    @property
+    def n_frames(self) -> int:
+        return self.displacements.shape[0]
+
+    @property
+    def n_atoms(self) -> int:
+        return self.displacements.shape[1]
+
+    @property
+    def max_neighbors(self) -> int:
+        return self.displacements.shape[2]
+
+
+def _frame_neighbor_width(frame: Frame, rcut: float) -> int:
+    nl = NeighborList.build(frame.positions, frame.cell, rcut)
+    return int(nl.neighbor_counts().max())
+
+
+def prepare_batches(
+    frames: Sequence[Frame],
+    rcut: float,
+    batch_size: int = 4,
+) -> list[DescriptorBatch]:
+    """Split ``frames`` into stacked batches with a common pad width.
+
+    The pad width is the maximum neighbor count over the whole frame
+    set so every batch has identical shapes (important for the simple
+    optimizer state handling and for fair step-time measurements).
+    """
+    if not frames:
+        raise ValueError("need at least one frame")
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    lists = [
+        NeighborList.build(f.positions, f.cell, rcut) for f in frames
+    ]
+    width = max(max(int(nl.neighbor_counts().max()), 1) for nl in lists)
+    rebuilt = [
+        NeighborList.build(f.positions, f.cell, rcut, max_neighbors=width)
+        for f in frames
+    ]
+    batches: list[DescriptorBatch] = []
+    for start in range(0, len(frames), batch_size):
+        chunk = slice(start, start + batch_size)
+        fs = frames[chunk]
+        nls = rebuilt[chunk]
+        batches.append(
+            DescriptorBatch(
+                displacements=np.stack([nl.displacements for nl in nls]),
+                neighbor_indices=np.stack([nl.indices for nl in nls]),
+                mask=np.stack([nl.mask for nl in nls]),
+                species=fs[0].species.copy(),
+                energies=np.array([f.energy for f in fs]),
+                forces=np.stack([f.forces for f in fs]),
+            )
+        )
+    return batches

@@ -1,0 +1,130 @@
+"""The DeepPot-SE smooth descriptor.
+
+The descriptor maps each atom's local environment (all neighbors
+within ``rcut``) to a smooth, rotation-covariant feature matrix.  The
+central ingredient is the switching function
+
+``s(r) = 1/r``                                     for ``r < rcut_smth``
+``s(r) = (1/r) * (x^3 (-6x^2 + 15x - 10) + 1)``    for ``rcut_smth <= r < rcut``
+``s(r) = 0``                                       for ``r >= rcut``
+
+with ``x = (r - rcut_smth) / (rcut - rcut_smth)`` — continuously
+differentiable up to second order at both ends, which is what makes
+the learned potential-energy surface smooth (§1).  The two radii are
+exactly the ``rcut`` / ``rcut_smth`` genes of the search (Table 1).
+
+From ``s(r)`` the generalized environment matrix is built:
+
+``R~_ij = [s(r_ij), s(r_ij) x_ij / r_ij, s(r_ij) y_ij / r_ij,
+           s(r_ij) z_ij / r_ij]``
+
+and the descriptor of atom ``i`` is ``D_i = (G^T R~)(R~^T G<)`` with
+``G`` the embedding-network output per neighbor and ``G<`` its first
+``m2`` columns (Zhang et al. 2018).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.autodiff import functional as F
+from repro.autodiff.tensor import Tensor
+from repro.exceptions import ConfigurationError
+
+
+def smooth_switch(r: Tensor, rcut: float, rcut_smth: float) -> Tensor:
+    """The DeepPot-SE switching function ``s(r)`` (differentiable).
+
+    ``r`` may contain padded zero entries (masked neighbors); they are
+    excluded from the 1/r branch to avoid division by zero and produce
+    s = 0 there.
+    """
+    if rcut <= rcut_smth:
+        raise ConfigurationError(
+            f"rcut ({rcut}) must exceed rcut_smth ({rcut_smth})"
+        )
+    rd = r.data
+    inner = rd < rcut_smth
+    mid = (rd >= rcut_smth) & (rd < rcut)
+    valid = rd > 1e-12
+    # guard padded/zero entries out of 1/r
+    safe_r = F.maximum(r, 1e-12)
+    inv_r = F.div(1.0, safe_r)
+    x = F.div(
+        F.sub(r, rcut_smth), float(rcut - rcut_smth)
+    )
+    # poly = x^3 * (-6x^2 + 15x - 10) + 1  (C2-continuous switch)
+    x3 = F.mul(x, F.mul(x, x))
+    quad = F.add(F.mul(x, F.add(F.mul(x, -6.0), 15.0)), -10.0)
+    poly = F.add(F.mul(x3, quad), 1.0)
+    smooth = F.mul(inv_r, poly)
+    out = F.where(inner & valid, inv_r, F.where(mid, smooth, F.mul(r, 0.0)))
+    return out
+
+
+@dataclass(frozen=True)
+class DescriptorConfig:
+    """Geometry parameters of the descriptor (the two searched radii)."""
+
+    rcut: float = 6.0
+    rcut_smth: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.rcut <= 0:
+            raise ConfigurationError("rcut must be positive")
+        if self.rcut_smth < 0:
+            raise ConfigurationError("rcut_smth must be non-negative")
+        if self.rcut <= self.rcut_smth:
+            raise ConfigurationError(
+                f"rcut ({self.rcut}) must exceed rcut_smth ({self.rcut_smth})"
+            )
+
+
+class SmoothDescriptor:
+    """Computes the environment matrix from displacement tensors.
+
+    The object is stateless apart from its configuration; the embedding
+    network lives in :class:`repro.deepmd.model.DeepPotModel` because
+    its parameters are trained.
+    """
+
+    def __init__(self, config: DescriptorConfig) -> None:
+        self.config = config
+
+    def environment_matrix(
+        self, displacements: Tensor, mask: np.ndarray
+    ) -> tuple[Tensor, Tensor]:
+        """Build ``(R~, s)`` from padded displacement tensors.
+
+        Parameters
+        ----------
+        displacements:
+            ``(..., max_nbr, 3)`` displacement vectors (padded entries
+            may hold zeros).
+        mask:
+            Constant ``(..., max_nbr)`` validity mask (1 real, 0 pad).
+
+        Returns
+        -------
+        env:
+            ``(..., max_nbr, 4)`` environment matrix rows
+            ``[s, s*x/r, s*y/r, s*z/r]`` with padded rows zeroed.
+        s:
+            ``(..., max_nbr)`` the switching values (embedding input).
+        """
+        d2 = F.sum(F.mul(displacements, displacements), axis=-1)
+        r = F.sqrt(F.maximum(d2, 1e-24))
+        s = smooth_switch(r, self.config.rcut, self.config.rcut_smth)
+        s = F.mul(s, Tensor(mask))
+        inv_r = F.div(1.0, F.maximum(r, 1e-12))
+        # direction-weighted channels: s(r) * d / r
+        weights = F.mul(s, inv_r)  # (..., max_nbr)
+        directional = F.mul(
+            displacements, F.reshape(weights, weights.shape + (1,))
+        )
+        env = F.concatenate(
+            [F.reshape(s, s.shape + (1,)), directional], axis=-1
+        )
+        return env, s

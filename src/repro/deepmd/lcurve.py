@@ -1,0 +1,104 @@
+"""The ``lcurve.out`` training-statistics file.
+
+DeePMD-kit appends one row per display interval with the step number,
+validation and training RMSEs for energy (eV/atom) and force (eV/Å),
+and the current learning rate.  The paper's evaluation workflow reads
+"the last values of the ``rmse_e_val`` and ``rmse_f_val`` columns"
+(§2.2.4) as the two fitness objectives, so the format — including the
+header naming — is reproduced exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+COLUMNS: tuple[str, ...] = (
+    "step",
+    "rmse_e_val",
+    "rmse_e_trn",
+    "rmse_f_val",
+    "rmse_f_trn",
+    "lr",
+)
+
+
+@dataclass
+class LCurve:
+    """In-memory learning curve, one row per display interval."""
+
+    rows: list[dict[str, float]] = field(default_factory=list)
+
+    def append(
+        self,
+        step: int,
+        rmse_e_val: float,
+        rmse_e_trn: float,
+        rmse_f_val: float,
+        rmse_f_trn: float,
+        lr: float,
+    ) -> None:
+        self.rows.append(
+            {
+                "step": float(step),
+                "rmse_e_val": rmse_e_val,
+                "rmse_e_trn": rmse_e_trn,
+                "rmse_f_val": rmse_f_val,
+                "rmse_f_trn": rmse_f_trn,
+                "lr": lr,
+            }
+        )
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def column(self, name: str) -> np.ndarray:
+        if name not in COLUMNS:
+            raise KeyError(f"unknown lcurve column {name!r}")
+        return np.array([r[name] for r in self.rows])
+
+    def final_losses(self) -> tuple[float, float]:
+        """``(rmse_e_val, rmse_f_val)`` from the last row — the fitness."""
+        if not self.rows:
+            raise ValueError("lcurve has no rows")
+        last = self.rows[-1]
+        return last["rmse_e_val"], last["rmse_f_val"]
+
+
+def write_lcurve(lcurve: LCurve, path: str | Path) -> None:
+    """Write in DeePMD's whitespace-delimited format with a # header."""
+    path = Path(path)
+    lines = ["# " + "  ".join(f"{c:>12s}" for c in COLUMNS)]
+    for row in lcurve.rows:
+        lines.append(
+            "  ".join(
+                f"{int(row['step']):>12d}"
+                if c == "step"
+                else f"{row[c]:>12.6e}"
+                for c in COLUMNS
+            )
+        )
+    path.write_text("\n".join(lines) + "\n")
+
+
+def read_lcurve(path: str | Path) -> LCurve:
+    """Parse a file written by :func:`write_lcurve` (or DeePMD itself)."""
+    path = Path(path)
+    lcurve = LCurve()
+    header: Sequence[str] | None = None
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            header = line.lstrip("#").split()
+            continue
+        if header is None:
+            header = list(COLUMNS)
+        values = line.split()
+        row = {name: float(v) for name, v in zip(header, values)}
+        lcurve.rows.append({c: row.get(c, float("nan")) for c in COLUMNS})
+    return lcurve

@@ -1,0 +1,232 @@
+"""The Deep Potential Smooth Edition model.
+
+Architecture (Zhang et al. 2018, as deployed by DeePMD-kit):
+
+1. For each atom, the smooth descriptor builds the environment matrix
+   ``R~`` from neighbors within ``rcut`` (see
+   :mod:`repro.deepmd.descriptor`).
+2. An **embedding network** maps each neighbor's switching value
+   ``s(r)`` (here concatenated with the neighbor's species one-hot — a
+   single shared network instead of DeePMD's per-species-pair network
+   table, a documented scale-down that preserves the role of the
+   embedding activation function) to an ``m1``-dimensional feature.
+3. The symmetry-preserving descriptor is
+   ``D_i = (G^T R~)(R~^T G<) / width^2`` with ``G<`` the first ``m2``
+   embedding columns.
+4. A **fitting network** maps ``D_i`` (plus the central atom's species
+   one-hot) to a per-atom energy; the total energy is their sum plus a
+   constant per-atom bias fitted from the training data.
+5. **Forces are the exact negative gradient** of the total energy with
+   respect to atomic positions, obtained by differentiating through
+   the descriptor with the autodiff tape (``create_graph=True`` keeps
+   them differentiable for the force-matching loss).
+
+The paper fixes the network shapes (embedding {25, 50, 100}, fitting
+{240, 240, 240}) and searches the *activation functions*; this class
+takes both as configuration so tests can shrink the widths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.autodiff import functional as F
+from repro.autodiff.tensor import Tensor, grad, no_grad
+from repro.deepmd.data import DescriptorBatch
+from repro.deepmd.descriptor import DescriptorConfig, SmoothDescriptor
+from repro.exceptions import ConfigurationError
+from repro.nn.activations import ACTIVATION_NAMES, get_activation
+from repro.nn.network import MLP
+from repro.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Hyperparameters of the DeepPot-SE model.
+
+    ``embedding_widths`` / ``fitting_widths`` default to a scaled-down
+    version of the paper's fixed {25,50,100} / {240,240,240}; the
+    activation names are the searched genes.
+    """
+
+    descriptor: DescriptorConfig = field(default_factory=DescriptorConfig)
+    n_species: int = 3
+    embedding_widths: tuple[int, ...] = (8, 16)
+    axis_neurons: int = 4  # m2: columns of G used for the second factor
+    fitting_widths: tuple[int, ...] = (24, 24)
+    desc_activation: str = "tanh"
+    fitting_activation: str = "tanh"
+    descriptor_scale: float = 100.0
+    #: fixed divisor for the G^T R environment products (DeePMD's
+    #: ``sel`` plays the same role there).  It must NOT depend on the
+    #: padded neighbor width, or a model trained with one neighbor
+    #: table would predict differently when deployed with another.
+    descriptor_norm: float = 32.0
+
+    def __post_init__(self) -> None:
+        for name in (self.desc_activation, self.fitting_activation):
+            if name not in ACTIVATION_NAMES:
+                raise ConfigurationError(
+                    f"unknown activation {name!r}; expected one of "
+                    f"{ACTIVATION_NAMES}"
+                )
+        if self.axis_neurons > self.embedding_widths[-1]:
+            raise ConfigurationError(
+                "axis_neurons cannot exceed the embedding output width"
+            )
+        if self.n_species < 1:
+            raise ConfigurationError("n_species must be >= 1")
+
+
+class DeepPotModel:
+    """Trainable deep potential: energy and gradient-consistent forces."""
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        energy_bias_per_atom: float = 0.0,
+        rng: RngLike = None,
+    ) -> None:
+        gen = ensure_rng(rng)
+        self.config = config
+        self.descriptor = SmoothDescriptor(config.descriptor)
+        desc_act = get_activation(config.desc_activation)
+        fit_act = get_activation(config.fitting_activation)
+        m1 = config.embedding_widths[-1]
+        self.m1 = m1
+        self.m2 = config.axis_neurons
+        emb_sizes = [1 + config.n_species, *config.embedding_widths]
+        self.embedding = MLP(
+            emb_sizes,
+            activation=desc_act,
+            final_activation=desc_act,
+            rng=gen,
+        )
+        fit_sizes = [m1 * self.m2 + config.n_species, *config.fitting_widths, 1]
+        self.fitting = MLP(
+            fit_sizes, activation=fit_act, final_activation=None, rng=gen
+        )
+        self.energy_bias_per_atom = float(energy_bias_per_atom)
+
+    @property
+    def parameters(self) -> list[Tensor]:
+        return self.embedding.parameters + self.fitting.parameters
+
+    def n_parameters(self) -> int:
+        return self.embedding.n_parameters() + self.fitting.n_parameters()
+
+    # ------------------------------------------------------------------
+    def _species_onehots(
+        self, batch: DescriptorBatch
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Constant one-hot encodings for neighbors and central atoms."""
+        S = self.config.n_species
+        species = batch.species
+        central = np.eye(S)[species]  # (N, S)
+        neighbor_species = species[batch.neighbor_indices]  # (B, N, nn)
+        neighbor = np.eye(S)[neighbor_species]  # (B, N, nn, S)
+        # zero out padded slots so the embedding sees pure zeros there
+        neighbor = neighbor * batch.mask[..., None]
+        return neighbor, central
+
+    def atomic_energies(
+        self, displacements: Tensor, batch: DescriptorBatch
+    ) -> Tensor:
+        """Per-atom energies ``(B, N)`` from displacement tensors."""
+        B, N, nn = batch.mask.shape
+        env, s = self.descriptor.environment_matrix(
+            displacements, batch.mask
+        )
+        neighbor_onehot, central_onehot = self._species_onehots(batch)
+        emb_in = F.concatenate(
+            [F.reshape(s, (B, N, nn, 1)), Tensor(neighbor_onehot)], axis=-1
+        )
+        emb_flat = F.reshape(emb_in, (B * N * nn, 1 + self.config.n_species))
+        G = self.embedding(emb_flat)
+        G = F.reshape(G, (B, N, nn, self.m1))
+        G = F.mul(G, Tensor(batch.mask[..., None]))
+        GT = F.swapaxes(G, -1, -2)  # (B, N, m1, nn)
+        GR = F.div(
+            F.matmul(GT, env), self.config.descriptor_norm
+        )  # (B, N, m1, 4)
+        GR_sub = GR[:, :, : self.m2, :]  # (B, N, m2, 4)
+        D = F.matmul(GR, F.swapaxes(GR_sub, -1, -2))  # (B, N, m1, m2)
+        D_flat = F.mul(
+            F.reshape(D, (B, N, self.m1 * self.m2)),
+            self.config.descriptor_scale,
+        )
+        central = np.broadcast_to(
+            central_onehot, (B, N, self.config.n_species)
+        ).copy()
+        fit_in = F.concatenate([D_flat, Tensor(central)], axis=-1)
+        fit_flat = F.reshape(
+            fit_in, (B * N, self.m1 * self.m2 + self.config.n_species)
+        )
+        e_atom = self.fitting(fit_flat)
+        e_atom = F.reshape(e_atom, (B, N))
+        return F.add(e_atom, self.energy_bias_per_atom)
+
+    def energy(self, batch: DescriptorBatch) -> Tensor:
+        """Total energies ``(B,)`` (no force graph)."""
+        disp = Tensor(batch.displacements)
+        return F.sum(self.atomic_energies(disp, batch), axis=1)
+
+    def energy_and_forces(
+        self, batch: DescriptorBatch, create_graph: bool = False
+    ) -> tuple[Tensor, Tensor]:
+        """Total energies ``(B,)`` and forces ``(B, N, 3)``.
+
+        Forces are computed as ``F_i = -dE/dr_i`` by differentiating
+        the scalar total energy with respect to the displacement
+        tensors: with ``d_ik = r_{j(k)} - r_i`` the chain rule gives
+
+        ``F_i = sum_k g[i, k] - sum_{(a, k): j(a,k) = i} g[a, k]``
+
+        where ``g = dE/dd``.  Both terms are expressed with taped
+        operations so, under ``create_graph=True``, the force error can
+        be backpropagated into the network parameters.
+        """
+        B, N, nn = batch.mask.shape
+        disp = Tensor(batch.displacements, requires_grad=True)
+        e_atom = self.atomic_energies(disp, batch)
+        e_total = F.sum(e_atom, axis=1)  # (B,)
+        # a single scalar seed suffices: frames are independent
+        e_sum = F.sum(e_total)
+        (g,) = grad(e_sum, [disp], create_graph=create_graph)
+        # term 1: sum over neighbor slots (gradient w.r.t. central atom)
+        central_term = F.sum(g, axis=2)  # (B, N, 3)
+        # term 2: scatter-add onto neighbor atoms
+        flat_vals = F.reshape(g, (B * N * nn, 3))
+        frame_offsets = (np.arange(B) * N)[:, None, None]
+        flat_idx = (batch.neighbor_indices + frame_offsets).reshape(-1)
+        scattered = F.index_add(
+            Tensor(np.zeros((B * N, 3))), flat_idx, flat_vals
+        )
+        neighbor_term = F.reshape(scattered, (B, N, 3))
+        forces = F.sub(central_term, neighbor_term)
+        return e_total, forces
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Flat parameter snapshot (copies)."""
+        out: dict[str, np.ndarray] = {}
+        for i, p in enumerate(self.parameters):
+            out[f"param_{i}"] = p.data.copy()
+        out["energy_bias_per_atom"] = np.array(self.energy_bias_per_atom)
+        return out
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        params = self.parameters
+        for i, p in enumerate(params):
+            src = np.asarray(state[f"param_{i}"])
+            if src.shape != p.data.shape:
+                raise ConfigurationError(
+                    f"parameter {i} shape mismatch: {src.shape} vs "
+                    f"{p.data.shape}"
+                )
+            p.data = src.copy()
+        if "energy_bias_per_atom" in state:
+            self.energy_bias_per_atom = float(state["energy_bias_per_atom"])

@@ -1,0 +1,45 @@
+"""A Dask-like distributed task executor.
+
+Reproduces the execution semantics the paper relied on (§2.2.5):
+
+* a **scheduler** that receives tasks from a client, assigns them to
+  workers, and *reassigns* tasks whose worker died mid-task ("let
+  workers fail, and have the scheduler reassign tasks to other workers
+  in those scenarios");
+* **workers** that each run one fitness evaluation at a time (the paper
+  gave each Dask worker an entire Summit node);
+* optional **nannies** that restart dead workers — with the paper's
+  recommendation to disable them available (and benchmarked: restarts
+  cannot fix hardware faults);
+* a **client** with ``submit`` / ``map`` / ``gather``, the interface
+  :func:`repro.evo.ops.eval_pool` fans evaluations out through;
+* **fault injection** so the failure-handling paths are exercised
+  deterministically in tests and benchmarks.
+
+Execution is thread-based: the DeePMD surrogate's work is NumPy-bound
+(which releases the GIL for large operations), and — decisively for a
+reproduction — threads give deterministic, dependency-free behavior on
+any machine.  The interface mirrors ``dask.distributed`` closely enough
+that swapping a real Dask client into ``eval_pool`` is a one-line
+change.
+"""
+
+from repro.distributed.future import Future, TaskState
+from repro.distributed.scheduler import Scheduler, TaskRecord
+from repro.distributed.worker import Nanny, Worker
+from repro.distributed.client import Client, LocalCluster
+from repro.distributed.faults import FaultPolicy, NoFaults, RandomFaults
+
+__all__ = [
+    "Future",
+    "TaskState",
+    "Scheduler",
+    "TaskRecord",
+    "Worker",
+    "Nanny",
+    "Client",
+    "LocalCluster",
+    "FaultPolicy",
+    "NoFaults",
+    "RandomFaults",
+]

@@ -1,0 +1,100 @@
+"""The client: the user-facing submit/map/gather interface.
+
+Mirrors ``dask.distributed.Client`` closely enough that
+:func:`repro.evo.ops.eval_pool` works with either.  The
+:class:`LocalCluster` convenience stands up a scheduler plus N workers
+in one call — the reproduction analogue of the paper's batch script
+launching the Dask scheduler and one worker per Summit node.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+from repro.distributed.faults import FaultPolicy
+from repro.distributed.future import Future
+from repro.distributed.scheduler import Scheduler
+from repro.distributed.worker import Nanny, Worker
+
+
+class Client:
+    """Submit tasks to a scheduler and gather their results."""
+
+    def __init__(self, scheduler: Scheduler) -> None:
+        self.scheduler = scheduler
+
+    def submit(
+        self, fn: Callable[..., Any], *args: Any, **kwargs: Any
+    ) -> Future:
+        return self.scheduler.submit(fn, *args, **kwargs)
+
+    def map(
+        self, fn: Callable[[Any], Any], items: Iterable[Any]
+    ) -> list[Future]:
+        return [self.scheduler.submit(fn, item) for item in items]
+
+    def gather(
+        self, futures: Sequence[Future], timeout: Optional[float] = None
+    ) -> list[Any]:
+        """Block for all results; task exceptions re-raise here."""
+        return [f.result(timeout=timeout) for f in futures]
+
+
+class LocalCluster:
+    """Scheduler + N workers (optionally nannied), context-managed.
+
+    Parameters
+    ----------
+    n_workers:
+        One per simulated node (the paper used 100).
+    use_nannies:
+        Restart dead workers; the paper's production setting is False.
+    fault_policy:
+        Shared fault-injection policy for all workers.
+    """
+
+    def __init__(
+        self,
+        n_workers: int = 4,
+        use_nannies: bool = False,
+        fault_policy: Optional[FaultPolicy] = None,
+        max_retries: int = 2,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("need at least one worker")
+        self.scheduler = Scheduler(max_retries=max_retries)
+        self.use_nannies = use_nannies
+        self._members: list[Any] = []
+        for i in range(n_workers):
+            name = f"node-{i:03d}"
+            if use_nannies:
+                self._members.append(
+                    Nanny(self.scheduler, name, fault_policy)
+                )
+            else:
+                self._members.append(
+                    Worker(self.scheduler, name, fault_policy)
+                )
+
+    def start(self) -> "LocalCluster":
+        for member in self._members:
+            member.start()
+        return self
+
+    def client(self) -> Client:
+        return Client(self.scheduler)
+
+    def shutdown(self) -> None:
+        self.scheduler.close()
+        for member in self._members:
+            member.stop()
+
+    def __enter__(self) -> "LocalCluster":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    @property
+    def n_alive(self) -> int:
+        return self.scheduler.n_workers

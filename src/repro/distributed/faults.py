@@ -1,0 +1,73 @@
+"""Worker fault injection.
+
+Summit-scale runs see real node failures; the paper tuned its Dask
+deployment around them (disabling nannies, letting the scheduler
+reassign).  These policies let tests and benchmarks trigger the same
+failure paths deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.rng import RngLike, ensure_rng
+
+
+class FaultPolicy:
+    """Decides whether a worker dies while executing a task."""
+
+    def should_fail(self, worker_name: str, task_index: int) -> bool:
+        raise NotImplementedError  # pragma: no cover
+
+
+class NoFaults(FaultPolicy):
+    """Healthy hardware."""
+
+    def should_fail(self, worker_name: str, task_index: int) -> bool:
+        return False
+
+
+class RandomFaults(FaultPolicy):
+    """Each task execution kills its worker with probability ``rate``.
+
+    Optionally capped at ``max_failures`` total so a run cannot lose
+    every worker (thread-safe: the policy is shared across workers).
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        max_failures: Optional[int] = None,
+        rng: RngLike = None,
+    ) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("failure rate must be in [0, 1]")
+        self.rate = float(rate)
+        self.max_failures = max_failures
+        self.failures = 0
+        self._rng = ensure_rng(rng)
+        self._lock = threading.Lock()
+
+    def should_fail(self, worker_name: str, task_index: int) -> bool:
+        with self._lock:
+            if (
+                self.max_failures is not None
+                and self.failures >= self.max_failures
+            ):
+                return False
+            if self._rng.random() < self.rate:
+                self.failures += 1
+                return True
+            return False
+
+
+class ScriptedFaults(FaultPolicy):
+    """Fail exactly the scripted ``(worker_name, task_index)`` pairs —
+    for precise failure-path tests."""
+
+    def __init__(self, script: set[tuple[str, int]]) -> None:
+        self.script = set(script)
+
+    def should_fail(self, worker_name: str, task_index: int) -> bool:
+        return (worker_name, task_index) in self.script

@@ -1,0 +1,90 @@
+"""Futures: handles to in-flight task results."""
+
+from __future__ import annotations
+
+import enum
+import threading
+from typing import Any, Optional
+
+
+class TaskState(enum.Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    FINISHED = "finished"
+    ERRED = "erred"
+    CANCELLED = "cancelled"
+
+
+class Future:
+    """A thread-safe, single-assignment result container."""
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+        self._event = threading.Event()
+        self._lock = threading.Lock()
+        self._state = TaskState.PENDING
+        self._result: Any = None
+        self._exception: Optional[BaseException] = None
+
+    @property
+    def state(self) -> TaskState:
+        return self._state
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def set_running(self) -> None:
+        with self._lock:
+            if self._state is TaskState.PENDING:
+                self._state = TaskState.RUNNING
+
+    def set_pending(self) -> None:
+        """Return to the queue (task reassignment after a worker death)."""
+        with self._lock:
+            if not self._event.is_set():
+                self._state = TaskState.PENDING
+
+    def set_result(self, value: Any) -> None:
+        with self._lock:
+            if self._event.is_set():
+                return
+            self._result = value
+            self._state = TaskState.FINISHED
+            self._event.set()
+
+    def set_exception(self, exc: BaseException) -> None:
+        with self._lock:
+            if self._event.is_set():
+                return
+            self._exception = exc
+            self._state = TaskState.ERRED
+            self._event.set()
+
+    def cancel(self) -> None:
+        with self._lock:
+            if self._event.is_set():
+                return
+            self._state = TaskState.CANCELLED
+            self._event.set()
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        """Block until the task completes; re-raises task exceptions."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"task {self.key} did not complete within {timeout}s"
+            )
+        if self._state is TaskState.CANCELLED:
+            raise RuntimeError(f"task {self.key} was cancelled")
+        if self._exception is not None:
+            raise self._exception
+        return self._result
+
+    def exception(self, timeout: Optional[float] = None):
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"task {self.key} did not complete within {timeout}s"
+            )
+        return self._exception
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Future({self.key!r}, state={self._state.value})"

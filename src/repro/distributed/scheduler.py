@@ -1,0 +1,216 @@
+"""The scheduler: task queue, assignment, and reassignment.
+
+§2.2.5's operational findings are encoded here:
+
+* tasks whose worker dies are put back on the queue and picked up by a
+  surviving worker, up to ``max_retries`` attempts;
+* when retries are exhausted (or no workers remain) the task's future
+  receives the :class:`~repro.exceptions.WorkerFailure`, which the
+  robust individual converts to ``MAXINT`` fitness.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.distributed.future import Future
+from repro.exceptions import SchedulerError, WorkerFailure
+
+
+@dataclass
+class TaskRecord:
+    """A unit of work plus its bookkeeping."""
+
+    key: str
+    fn: Callable[..., Any]
+    args: tuple
+    kwargs: dict
+    future: Future
+    attempts: int = 0
+    failed_workers: list[str] = field(default_factory=list)
+
+
+class Scheduler:
+    """Thread-safe task queue with failure-driven reassignment."""
+
+    def __init__(
+        self, max_retries: int = 2, worker_grace_seconds: float = 1.0
+    ) -> None:
+        self._queue: "queue.Queue[Optional[TaskRecord]]" = queue.Queue()
+        self._counter = itertools.count()
+        self._lock = threading.Lock()
+        self._workers: dict[str, Any] = {}
+        self._closed = False
+        self._strand_timer: Optional[threading.Timer] = None
+        self.max_retries = int(max_retries)
+        #: how long the scheduler waits for a replacement worker (a
+        #: nanny restart, a late jsrun) before declaring queued tasks
+        #: stranded when the last worker has died
+        self.worker_grace_seconds = float(worker_grace_seconds)
+        self.tasks_submitted = 0
+        self.tasks_completed = 0
+        self.tasks_failed = 0
+        self.reassignments = 0
+
+    # ------------------------------------------------------------------
+    # client-facing
+    # ------------------------------------------------------------------
+    def submit(
+        self, fn: Callable[..., Any], *args: Any, **kwargs: Any
+    ) -> Future:
+        if self._closed:
+            raise SchedulerError("scheduler is closed")
+        key = f"task-{next(self._counter)}"
+        future = Future(key)
+        record = TaskRecord(
+            key=key, fn=fn, args=args, kwargs=kwargs, future=future
+        )
+        with self._lock:
+            self.tasks_submitted += 1
+        self._queue.put(record)
+        # a submission onto a worker-less scheduler must not wait
+        # forever either: arm the same grace timer used on last-worker
+        # death, so the task fails unless a worker registers in time
+        with self._lock:
+            if not self._workers and self._strand_timer is None:
+                self._strand_timer = threading.Timer(
+                    self.worker_grace_seconds,
+                    self._strand_check,
+                    args=("<none>",),
+                )
+                self._strand_timer.daemon = True
+                self._strand_timer.start()
+        return future
+
+    # ------------------------------------------------------------------
+    # worker-facing
+    # ------------------------------------------------------------------
+    def register_worker(self, worker: Any) -> None:
+        with self._lock:
+            self._workers[worker.name] = worker
+            if self._strand_timer is not None:
+                self._strand_timer.cancel()
+                self._strand_timer = None
+
+    def unregister_worker(self, worker: Any) -> None:
+        with self._lock:
+            self._workers.pop(worker.name, None)
+            none_left = not self._workers and not self._closed
+            if none_left and self._strand_timer is None:
+                # give nannies / late workers a grace window before
+                # declaring the queue stranded
+                self._strand_timer = threading.Timer(
+                    self.worker_grace_seconds,
+                    self._strand_check,
+                    args=(worker.name,),
+                )
+                self._strand_timer.daemon = True
+                self._strand_timer.start()
+
+    def _strand_check(self, last_worker: str) -> None:
+        with self._lock:
+            self._strand_timer = None
+            if self._workers or self._closed:
+                return
+        self._fail_pending(last_worker)
+
+    def _fail_pending(self, last_worker: str) -> None:
+        """No workers remain (and none arrived within the grace
+        window): fail everything still queued.
+
+        Without this, tasks submitted before the last worker died would
+        wait forever and ``gather`` would deadlock.  A worker (or
+        nanny) registering later can still accept *new* submissions.
+        """
+        drained: list[TaskRecord] = []
+        while True:
+            try:
+                record = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if record is None:
+                self._queue.put(None)
+                break
+            drained.append(record)
+        for record in drained:
+            record.future.set_exception(
+                WorkerFailure(
+                    last_worker,
+                    f"task {record.key} stranded: no workers remain",
+                )
+            )
+            with self._lock:
+                self.tasks_failed += 1
+
+    @property
+    def n_workers(self) -> int:
+        with self._lock:
+            return len(self._workers)
+
+    def next_task(self, timeout: float = 0.05) -> Optional[TaskRecord]:
+        """Called by worker threads; returns None on idle timeout."""
+        try:
+            record = self._queue.get(timeout=timeout)
+        except queue.Empty:
+            return None
+        if record is None:  # shutdown sentinel: re-emit for siblings
+            self._queue.put(None)
+            return None
+        record.future.set_running()
+        return record
+
+    def task_done(self, record: TaskRecord, result: Any) -> None:
+        record.future.set_result(result)
+        with self._lock:
+            self.tasks_completed += 1
+
+    def task_erred(self, record: TaskRecord, exc: BaseException) -> None:
+        """An *application* error: propagate to the future, no retry.
+
+        (Bad hyperparameters will fail on any node; retrying would
+        waste a node-fraction of the allocation.)
+        """
+        record.future.set_exception(exc)
+        with self._lock:
+            self.tasks_failed += 1
+
+    def worker_died(self, record: TaskRecord, worker_name: str) -> None:
+        """A worker crashed mid-task: requeue or give up."""
+        record.attempts += 1
+        record.failed_workers.append(worker_name)
+        if record.attempts > self.max_retries or self.n_workers == 0:
+            record.future.set_exception(
+                WorkerFailure(
+                    worker_name,
+                    f"task {record.key} abandoned after "
+                    f"{record.attempts} attempt(s) on "
+                    f"{record.failed_workers}",
+                )
+            )
+            with self._lock:
+                self.tasks_failed += 1
+            return
+        record.future.set_pending()
+        with self._lock:
+            self.reassignments += 1
+        self._queue.put(record)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop accepting work and release waiting workers."""
+        self._closed = True
+        self._queue.put(None)
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "submitted": self.tasks_submitted,
+                "completed": self.tasks_completed,
+                "failed": self.tasks_failed,
+                "reassignments": self.reassignments,
+                "workers": len(self._workers),
+            }

@@ -1,0 +1,149 @@
+"""Workers and nannies.
+
+Each :class:`Worker` runs a thread that pulls tasks from the scheduler
+— the analogue of one Dask worker owning one Summit node.  A worker
+"dies" either when its fault policy fires (simulated hardware failure)
+or when the task function raises :class:`WorkerFailure` directly; the
+in-flight task is reported to the scheduler for reassignment.
+
+A :class:`Nanny` watches a worker and restarts it on death.  The paper
+found nannies counterproductive on Summit ("if the nanny observes that
+its worker has prematurely terminated, the nanny will restart the
+worker.  Worker failures may be due to hardware failures, in which case
+a restart will not correct anything.  We found it best to disable
+nannies"), so the default deployment runs without them; the scaling
+benchmark measures both configurations.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+from repro.distributed.faults import FaultPolicy, NoFaults
+from repro.distributed.scheduler import Scheduler
+from repro.exceptions import WorkerFailure
+
+
+class Worker:
+    """A single-task-at-a-time execution thread."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        name: str,
+        fault_policy: Optional[FaultPolicy] = None,
+    ) -> None:
+        self.scheduler = scheduler
+        self.name = name
+        self.fault_policy = fault_policy or NoFaults()
+        self.tasks_executed = 0
+        self._alive = False
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    def start(self) -> None:
+        if self._alive:
+            raise RuntimeError(f"worker {self.name} already running")
+        self._stop.clear()
+        self._alive = True
+        self.scheduler.register_worker(self)
+        self._thread = threading.Thread(
+            target=self._run, name=f"worker-{self.name}", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Graceful shutdown (finishes the current task)."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+
+    def join(self) -> None:
+        if self._thread is not None:
+            self._thread.join()
+
+    def _run(self) -> None:
+        try:
+            while not self._stop.is_set():
+                record = self.scheduler.next_task()
+                if record is None:
+                    continue
+                if self.fault_policy.should_fail(
+                    self.name, self.tasks_executed
+                ):
+                    # simulated node failure: drop the task and die
+                    self.scheduler.worker_died(record, self.name)
+                    return
+                try:
+                    result = record.fn(*record.args, **record.kwargs)
+                except WorkerFailure:
+                    # the task function itself detected a node problem
+                    self.scheduler.worker_died(record, self.name)
+                    return
+                except BaseException as exc:  # noqa: BLE001
+                    self.scheduler.task_erred(record, exc)
+                else:
+                    self.scheduler.task_done(record, result)
+                finally:
+                    self.tasks_executed += 1
+        finally:
+            self._alive = False
+            self.scheduler.unregister_worker(self)
+
+
+class Nanny:
+    """Restarts its worker whenever it dies, until told to stop.
+
+    ``max_restarts`` bounds futile restarting on genuinely broken
+    hardware (the scenario that led the paper to disable nannies).
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        name: str,
+        fault_policy: Optional[FaultPolicy] = None,
+        max_restarts: int = 10,
+        poll_interval: float = 0.02,
+    ) -> None:
+        self.scheduler = scheduler
+        self.name = name
+        self.fault_policy = fault_policy
+        self.max_restarts = int(max_restarts)
+        self.poll_interval = float(poll_interval)
+        self.restarts = 0
+        self.worker = Worker(scheduler, name, fault_policy)
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> None:
+        self.worker.start()
+        self._thread = threading.Thread(
+            target=self._watch, name=f"nanny-{self.name}", daemon=True
+        )
+        self._thread.start()
+
+    def _watch(self) -> None:
+        while not self._stop.is_set():
+            if not self.worker.alive:
+                if self.restarts >= self.max_restarts:
+                    return
+                self.restarts += 1
+                self.worker = Worker(
+                    self.scheduler, self.name, self.fault_policy
+                )
+                self.worker.start()
+            time.sleep(self.poll_interval)
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+        if self.worker.alive:
+            self.worker.stop()

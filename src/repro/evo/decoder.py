@@ -1,0 +1,102 @@
+"""Genome decoders.
+
+§2.2.2: real-valued genes that stand for categorical parameters are
+mapped to strings by "taking the floor of the random float then taking
+the modulus of the resulting value against the number of possible
+string values".  E.g. a gene value 5.78 over the 3 choices
+{"linear", "sqrt", "none"} decodes as ``floor(5.78) % 3 == 2`` →
+``"none"``.  This keeps Gaussian mutation applicable to every gene.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.exceptions import DecodeError
+
+
+class Decoder:
+    """Base decoder: genome (ndarray) → phenome (problem-specific)."""
+
+    def decode(self, genome: np.ndarray) -> Any:  # pragma: no cover
+        raise NotImplementedError
+
+
+class IdentityDecoder(Decoder):
+    """Phenome is the genome itself (fully phenotypic representation)."""
+
+    def decode(self, genome: np.ndarray) -> np.ndarray:
+        return genome
+
+
+def floor_mod_choice(value: float, choices: Sequence[str]) -> str:
+    """The paper's floor-then-modulus categorical mapping (§2.2.2).
+
+    Works for any real gene value, including negatives (Python's
+    modulus keeps the result in range).
+    """
+    if not choices:
+        raise DecodeError("no choices to decode into")
+    if not math.isfinite(value):
+        raise DecodeError(f"cannot decode non-finite gene value {value!r}")
+    return choices[int(math.floor(value)) % len(choices)]
+
+
+class FloorModDecoder(Decoder):
+    """Decode an all-categorical genome into a tuple of strings."""
+
+    def __init__(self, choices_per_gene: Sequence[Sequence[str]]) -> None:
+        self.choices_per_gene = [list(c) for c in choices_per_gene]
+
+    def decode(self, genome: np.ndarray) -> tuple[str, ...]:
+        if len(genome) != len(self.choices_per_gene):
+            raise DecodeError(
+                f"genome length {len(genome)} != expected "
+                f"{len(self.choices_per_gene)}"
+            )
+        return tuple(
+            floor_mod_choice(float(g), choices)
+            for g, choices in zip(genome, self.choices_per_gene)
+        )
+
+
+class MixedVectorDecoder(Decoder):
+    """Decode a genome of mixed real and categorical genes into a dict.
+
+    ``spec`` is an ordered list of ``(name, None)`` for real genes or
+    ``(name, choices)`` for categorical genes; the decoded phenome maps
+    each name to either the float value or the chosen string.  This is
+    the general form of the paper's seven-gene representation.
+    """
+
+    def __init__(
+        self, spec: Sequence[tuple[str, Sequence[str] | None]]
+    ) -> None:
+        if not spec:
+            raise DecodeError("decoder spec is empty")
+        names = [name for name, _ in spec]
+        if len(set(names)) != len(names):
+            raise DecodeError("duplicate gene names in decoder spec")
+        self.spec = [
+            (name, list(choices) if choices is not None else None)
+            for name, choices in spec
+        ]
+
+    def __len__(self) -> int:
+        return len(self.spec)
+
+    def decode(self, genome: np.ndarray) -> dict[str, Any]:
+        if len(genome) != len(self.spec):
+            raise DecodeError(
+                f"genome length {len(genome)} != spec length {len(self.spec)}"
+            )
+        phenome: dict[str, Any] = {}
+        for value, (name, choices) in zip(genome, self.spec):
+            if choices is None:
+                phenome[name] = float(value)
+            else:
+                phenome[name] = floor_mod_choice(float(value), choices)
+        return phenome

@@ -1,0 +1,56 @@
+"""Fitness-function abstractions.
+
+All problems in this package are **minimization** problems returning a
+NumPy fitness array — matching the paper, where "both fitness
+objectives were minimization problems" (energy and force validation
+RMSE).  Scalar problems return one-element arrays so single- and
+multiobjective code paths are uniform.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+
+class Problem:
+    """Base problem: maps a phenome to a minimization fitness vector."""
+
+    #: number of objectives (subclasses should set this)
+    n_objectives: int = 1
+
+    def evaluate(self, phenome: Any) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def worse_than(self, a: np.ndarray, b: np.ndarray) -> bool:
+        """Strict Pareto-dominance check: is ``a`` dominated by ``b``?"""
+        a = np.atleast_1d(a)
+        b = np.atleast_1d(b)
+        return bool(np.all(b <= a) and np.any(b < a))
+
+
+class FunctionProblem(Problem):
+    """Wrap a plain callable returning a scalar or a fitness vector."""
+
+    def __init__(
+        self, fn: Callable[[Any], Any], n_objectives: int = 1
+    ) -> None:
+        self.fn = fn
+        self.n_objectives = int(n_objectives)
+
+    def evaluate(self, phenome: Any) -> np.ndarray:
+        return np.atleast_1d(
+            np.asarray(self.fn(phenome), dtype=np.float64)
+        )
+
+
+class ConstantProblem(Problem):
+    """Always returns the same fitness — useful in operator tests."""
+
+    def __init__(self, fitness: Sequence[float] = (0.0,)) -> None:
+        self._fitness = np.asarray(fitness, dtype=np.float64)
+        self.n_objectives = len(self._fitness)
+
+    def evaluate(self, phenome: Any) -> np.ndarray:
+        return self._fitness.copy()

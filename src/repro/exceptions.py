@@ -1,0 +1,62 @@
+"""Exception hierarchy shared across the package.
+
+The paper's evaluation workflow (§2.2.4) distinguishes several failure
+modes — training timeouts, bad hyperparameter combinations, and node
+failures — all of which must be caught and converted into ``MAXINT``
+fitness values so that NSGA-II's sorting remains well defined.  The
+exception types below let each substrate signal its failure mode
+precisely while the HPO layer treats them uniformly.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all package-specific errors."""
+
+
+class EvaluationError(ReproError):
+    """A fitness evaluation failed for any reason.
+
+    Mirrors the situations in §2.2.4 where "the unique combination of
+    hyperparameter values will cause training to fail".
+    """
+
+
+class TrainingTimeoutError(EvaluationError):
+    """Training exceeded its wall-clock budget (the paper's 2-hour cap)."""
+
+    def __init__(self, elapsed: float, limit: float) -> None:
+        super().__init__(
+            f"training exceeded time limit: {elapsed:.1f}s > {limit:.1f}s"
+        )
+        self.elapsed = elapsed
+        self.limit = limit
+
+
+class TrainingDivergedError(EvaluationError):
+    """Training produced non-finite losses (a fatal hyperparameter combo)."""
+
+
+class ConfigurationError(ReproError):
+    """An input configuration is invalid (bad input.json, bad bounds, ...)."""
+
+
+class WorkerFailure(ReproError):
+    """A distributed worker died while running a task (hardware fault)."""
+
+    def __init__(self, worker: str, message: str = "") -> None:
+        super().__init__(f"worker {worker} failed" + (f": {message}" if message else ""))
+        self.worker = worker
+
+
+class SchedulerError(ReproError):
+    """The distributed scheduler cannot make progress."""
+
+
+class WalltimeExceeded(ReproError):
+    """A batch job hit its allocation walltime (the paper's 12-hour jobs)."""
+
+
+class DecodeError(ReproError):
+    """A genome could not be decoded into a phenome."""

@@ -1,0 +1,82 @@
+"""Batch jobs and the jsrun-style launcher.
+
+§2.2.5 describes the deployment mechanics: the batch script runs on a
+dedicated batch node, launches the Dask scheduler and all Dask workers
+*on the batch node*, and each DeePMD training is started with its own
+``jsrun`` call onto a compute node (because Horovod's ``MPI_Init``
+leaves a node unable to host a second MPI program without a fresh
+``jsrun``).  :class:`JsrunLauncher` models that constraint: a resource
+set can host exactly one MPI-initialized program per launch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.exceptions import SchedulerError, WalltimeExceeded
+from repro.hpc.node import NodeState, SummitNode
+
+
+@dataclass
+class BatchJob:
+    """A node allocation with a walltime budget (the paper: 100 nodes,
+    12 hours)."""
+
+    n_nodes: int = 100
+    walltime_minutes: float = 12 * 60.0
+    nodes: list[SummitNode] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError("a job needs at least one node")
+        if not self.nodes:
+            self.nodes = [
+                SummitNode(name=f"node-{i:03d}") for i in range(self.n_nodes)
+            ]
+
+    def check_walltime(self, now_minutes: float) -> None:
+        if now_minutes > self.walltime_minutes:
+            raise WalltimeExceeded(
+                f"{now_minutes:.1f} min exceeds the "
+                f"{self.walltime_minutes:.0f}-minute allocation"
+            )
+
+    def available_nodes(self) -> list[SummitNode]:
+        return [n for n in self.nodes if n.available]
+
+    def healthy_nodes(self) -> list[SummitNode]:
+        return [n for n in self.nodes if n.state is not NodeState.FAILED]
+
+
+class JsrunLauncher:
+    """One ``jsrun`` per training: models the MPI_Init single-use rule.
+
+    A node must be re-acquired through the launcher for every program;
+    attempting to launch onto a busy or failed node raises, exactly the
+    situation that forced the paper to move Dask workers off the
+    compute nodes.
+    """
+
+    def __init__(self, job: BatchJob) -> None:
+        self.job = job
+        self.launches = 0
+
+    def launch(
+        self, runtime_minutes: float, now_minutes: float
+    ) -> Optional[SummitNode]:
+        """Acquire an idle node until ``now + runtime``; None if full."""
+        self.job.check_walltime(now_minutes)
+        available = self.job.available_nodes()
+        if not available:
+            return None
+        node = available[0]
+        node.assign(until=now_minutes + runtime_minutes)
+        self.launches += 1
+        return node
+
+    def complete(self, node: SummitNode) -> None:
+        node.release()
+
+    def fail(self, node: SummitNode) -> None:
+        node.fail()

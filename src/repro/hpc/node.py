@@ -1,0 +1,55 @@
+"""Compute-node model."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class NodeState(enum.Enum):
+    IDLE = "idle"
+    BUSY = "busy"
+    FAILED = "failed"
+
+
+@dataclass
+class SummitNode:
+    """One Summit node (§2.1.1): six V100 GPUs, two POWER9 sockets.
+
+    In the paper's deployment a node hosts exactly one Dask worker and
+    therefore one training at a time, with Horovod spreading the
+    training over the node's six GPUs.
+    """
+
+    name: str
+    n_gpus: int = 6
+    n_cores: int = 42
+    state: NodeState = NodeState.IDLE
+    #: simulation time at which the current task completes
+    busy_until: float = 0.0
+    tasks_completed: int = 0
+    failures: int = 0
+
+    @property
+    def available(self) -> bool:
+        return self.state is NodeState.IDLE
+
+    def assign(self, until: float) -> None:
+        if self.state is not NodeState.IDLE:
+            raise RuntimeError(f"node {self.name} is not idle")
+        self.state = NodeState.BUSY
+        self.busy_until = until
+
+    def release(self) -> None:
+        if self.state is NodeState.BUSY:
+            self.state = NodeState.IDLE
+            self.tasks_completed += 1
+
+    def fail(self) -> None:
+        self.state = NodeState.FAILED
+        self.failures += 1
+
+    def recover(self) -> None:
+        """A nanny restart (only meaningful for transient faults)."""
+        if self.state is NodeState.FAILED:
+            self.state = NodeState.IDLE

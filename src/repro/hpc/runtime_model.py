@@ -1,0 +1,70 @@
+"""Training-runtime model.
+
+The paper reports the boundary conditions: GPU training gives ~65× per
+node over CPU (§2.1.2, ~2 hours vs ~7 days for 250k frames), every
+final-generation training finished under 80 minutes, failed trainings
+show up as very short runtimes, and the per-training cap is 2 hours.
+The dominant hyperparameter effect on runtime is the descriptor radial
+cutoff: the neighbor count — and with it descriptor construction and
+backprop cost — grows as ``rcut^3``.
+
+The model below reproduces those shapes:
+
+``t(rcut) = t_fixed + t_env * (rcut / rcut_ref)^3``
+
+calibrated so rcut = 6 Å → ≈ 35 min and rcut = 12 Å → ≈ 78 min on GPU,
+with multiplicative log-normal noise for system jitter.  Failed
+configurations return a short abort time (~1–4 min).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rng import RngLike, ensure_rng
+
+
+class TrainingRuntimeModel:
+    """Predicts one training's wall-clock minutes from hyperparameters."""
+
+    def __init__(
+        self,
+        fixed_minutes: float = 26.0,
+        env_minutes: float = 5.8,
+        rcut_ref: float = 6.0,
+        gpu_speedup: float = 65.0,
+        jitter_sigma: float = 0.04,
+        fail_minutes: tuple[float, float] = (1.0, 4.0),
+        rng: RngLike = None,
+    ) -> None:
+        self.fixed_minutes = float(fixed_minutes)
+        self.env_minutes = float(env_minutes)
+        self.rcut_ref = float(rcut_ref)
+        self.gpu_speedup = float(gpu_speedup)
+        self.jitter_sigma = float(jitter_sigma)
+        self.fail_minutes = fail_minutes
+        self.rng = ensure_rng(rng)
+
+    def runtime_minutes(
+        self, rcut: float, gpu: bool = True, failed: bool = False
+    ) -> float:
+        """Sample a wall-clock runtime for one training."""
+        if failed:
+            lo, hi = self.fail_minutes
+            return float(self.rng.uniform(lo, hi))
+        base = self.fixed_minutes + self.env_minutes * (
+            rcut / self.rcut_ref
+        ) ** 3
+        if not gpu:
+            base *= self.gpu_speedup
+        jitter = float(
+            np.exp(self.rng.normal(0.0, self.jitter_sigma))
+        )
+        return base * jitter
+
+    def mean_runtime_minutes(self, rcut: float, gpu: bool = True) -> float:
+        """Expected runtime without jitter."""
+        base = self.fixed_minutes + self.env_minutes * (
+            rcut / self.rcut_ref
+        ) ** 3
+        return base if gpu else base * self.gpu_speedup

@@ -1,0 +1,79 @@
+"""The paper's contribution: NSGA-II hyperparameter optimization for
+deep-potential training.
+
+Everything in §2.2 and §3 lives here:
+
+* :mod:`repro.hpo.representation` — the seven-gene real-valued
+  representation with Table 1's initialization ranges and mutation
+  standard deviations, and the floor-modulus decoding of the three
+  categorical genes;
+* :mod:`repro.hpo.evaluator` — the §2.2.4 fitness-evaluation workflow
+  against the *real* (scaled-down) DeepPot-SE trainer;
+* :mod:`repro.hpo.landscape` — the calibrated surrogate
+  hyperparameter→(energy RMSE, force RMSE, runtime, failure) response
+  surface used for full-scale campaign benchmarks (the substitution
+  for 3500 × 2 GPU-hours; see DESIGN.md);
+* :mod:`repro.hpo.driver` — the customized NSGA-II deployment
+  (Listing 1 pipeline + ×0.85 mutation annealing);
+* :mod:`repro.hpo.campaign` — five independent EA runs and their
+  aggregation, as in §3;
+* :mod:`repro.hpo.chemical` — chemical-accuracy filtering and the
+  Table 3 solution selection;
+* :mod:`repro.hpo.baselines` — grid search, random search, and the
+  weighted-sum single-objective EA the multiobjective approach is
+  motivated against.
+"""
+
+from repro.hpo.representation import (
+    GENE_NAMES,
+    DeepMDRepresentation,
+)
+from repro.hpo.evaluator import DeepMDProblem, EvaluatorSettings
+from repro.hpo.landscape import (
+    LandscapeCalibration,
+    SurrogateDeepMDProblem,
+)
+from repro.hpo.driver import NSGA2Settings, run_deepmd_nsga2
+from repro.hpo.campaign import Campaign, CampaignConfig, CampaignResult
+from repro.hpo.chemical import (
+    ENERGY_ACCURACY_EV_PER_ATOM,
+    FORCE_ACCURACY_EV_PER_A,
+    chemically_accurate,
+    filter_chemically_accurate,
+    select_representatives,
+)
+from repro.hpo.baselines import (
+    grid_search,
+    random_search,
+    weighted_sum_ea,
+)
+from repro.hpo.nas import (
+    NASRepresentation,
+    NASSurrogateProblem,
+    run_nas_nsga2,
+)
+
+__all__ = [
+    "GENE_NAMES",
+    "DeepMDRepresentation",
+    "DeepMDProblem",
+    "EvaluatorSettings",
+    "SurrogateDeepMDProblem",
+    "LandscapeCalibration",
+    "NSGA2Settings",
+    "run_deepmd_nsga2",
+    "Campaign",
+    "CampaignConfig",
+    "CampaignResult",
+    "FORCE_ACCURACY_EV_PER_A",
+    "ENERGY_ACCURACY_EV_PER_ATOM",
+    "chemically_accurate",
+    "filter_chemically_accurate",
+    "select_representatives",
+    "grid_search",
+    "random_search",
+    "weighted_sum_ea",
+    "NASRepresentation",
+    "NASSurrogateProblem",
+    "run_nas_nsga2",
+]

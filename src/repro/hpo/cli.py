@@ -1,0 +1,234 @@
+"""The campaign command-line interface (``repro-hpo``).
+
+Runs an NSGA-II campaign — surrogate (paper scale, seconds) or real
+(scaled-down trainings, minutes) — and prints every reproduced table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.analysis import (
+        format_table,
+        frontier_table,
+        generation_level_plots,
+        table3_rows,
+    )
+    from repro.hpo.campaign import Campaign, CampaignConfig
+    from repro.hpo.landscape import SurrogateDeepMDProblem
+
+    config = CampaignConfig(
+        n_runs=args.runs,
+        pop_size=args.pop_size,
+        generations=args.generations,
+        base_seed=args.seed,
+    )
+    if args.backend == "surrogate":
+        factory = lambda seed: SurrogateDeepMDProblem(seed=seed)  # noqa: E731
+    else:
+        from repro.hpo.evaluator import DeepMDProblem, EvaluatorSettings
+        from repro.md.dataset import generate_dataset
+
+        dataset = generate_dataset(
+            n_frames=args.frames, rng=args.seed
+        )
+        settings = EvaluatorSettings(numb_steps=args.steps)
+        shared = DeepMDProblem(dataset, settings=settings)
+        factory = lambda seed: shared  # noqa: E731
+    campaign = Campaign(factory, config)
+    result = campaign.run()
+    print(f"total trainings: {result.n_trainings}")
+    print(f"failures by generation: {result.failures_by_generation()}")
+    print()
+    panels = generation_level_plots(result)
+    print(
+        format_table(
+            [p.summary() for p in panels],
+            title="Fig. 1 — pooled loss distributions per generation",
+        )
+    )
+    print()
+    table = frontier_table(result)
+    print(
+        format_table(
+            table.rows(),
+            title=f"Table 2 — Pareto frontier ({len(table)} solutions)",
+        )
+    )
+    print()
+    rows = [r.as_dict() for r in table3_rows(result)]
+    print(format_table(rows, title="Table 3 — selected solutions"))
+    if args.plot:
+        from repro.analysis import ascii_scatter
+
+        final = [
+            ind
+            for ind in result.last_generation_individuals()
+            if ind.is_viable
+        ]
+        print()
+        print("final solutions (.) and frontier (O):")
+        print(
+            ascii_scatter(
+                [(i.fitness[0], i.fitness[1]) for i in final],
+                highlight=[
+                    (i.fitness[0], i.fitness[1]) for i in table.members
+                ],
+                x_label="energy loss (eV/atom)",
+                y_label="force loss (eV/A)",
+            )
+        )
+    if args.save:
+        from repro.io import save_campaign
+
+        save_campaign(result, args.save)
+        print(f"\ncampaign saved to {args.save}")
+    if args.export_csv:
+        from pathlib import Path
+
+        from repro.io import (
+            export_frontier_csv,
+            export_level_plot_csv,
+            export_parallel_coordinates_csv,
+        )
+
+        out = Path(args.export_csv)
+        out.mkdir(parents=True, exist_ok=True)
+        export_level_plot_csv(result, out / "fig1_levels.csv")
+        export_frontier_csv(result, out / "fig2_frontier.csv")
+        export_parallel_coordinates_csv(result, out / "fig3_parallel.csv")
+        print(f"figure data exported to {out}")
+    return 0
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    from repro.analysis import format_table
+    from repro.hpo.landscape import SurrogateDeepMDProblem
+    from repro.hpo.sensitivity import morris_screening, one_at_a_time
+
+    problem = SurrogateDeepMDProblem(
+        seed=args.seed, simulate_runtime=False
+    )
+    profiles = one_at_a_time(problem, n_points=args.points)
+    rows = [
+        {
+            "gene": p.gene,
+            "force range over sweep": p.force_range(),
+        }
+        for p in profiles
+    ]
+    rows.sort(key=lambda r: -r["force range over sweep"])
+    print(format_table(rows, title="one-at-a-time sensitivity"))
+    result = morris_screening(
+        problem, n_trajectories=args.trajectories, rng=args.seed
+    )
+    print(
+        "\nMorris ranking (force): "
+        + " > ".join(result.ranking_by_force())
+    )
+    return 0
+
+
+def _cmd_nas(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.analysis import format_table
+    from repro.hpo.chemical import filter_chemically_accurate
+    from repro.hpo.nas import (
+        NASRepresentation,
+        NASSurrogateProblem,
+        run_nas_nsga2,
+    )
+
+    records = run_nas_nsga2(
+        NASSurrogateProblem(seed=args.seed),
+        pop_size=args.pop_size,
+        generations=args.generations,
+        rng=args.seed,
+    )
+    final = [i for i in records[-1].population if i.is_viable]
+    accurate = filter_chemically_accurate(final)
+    print(
+        f"NAS search: {len(final)} final solutions, "
+        f"{len(accurate)} chemically accurate"
+    )
+    best = sorted(accurate or final, key=lambda i: float(i.fitness[1]))
+    rows = []
+    for ind in best[:5]:
+        phenome = ind.metadata["phenome"]
+        arch = NASRepresentation.architecture_of(phenome)
+        rows.append(
+            {
+                "embedding": str(arch["embedding_widths"]),
+                "fitting": str(arch["fitting_widths"]),
+                "rcut": phenome["rcut"],
+                "force loss": float(ind.fitness[1]),
+                "energy loss": float(ind.fitness[0]),
+                "runtime (min)": float(
+                    ind.metadata.get("runtime_minutes", np.nan)
+                ),
+            }
+        )
+    print(format_table(rows, title="best architectures found"))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-hpo",
+        description=(
+            "NSGA-II hyperparameter optimization campaign for deep "
+            "potential training (paper reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    p = sub.add_parser("campaign", help="run a multi-run EA campaign")
+    p.add_argument("--backend", choices=["surrogate", "real"], default="surrogate")
+    p.add_argument("--runs", type=int, default=5)
+    p.add_argument("--pop-size", type=int, default=100)
+    p.add_argument("--generations", type=int, default=6)
+    p.add_argument("--seed", type=int, default=2023)
+    p.add_argument(
+        "--frames", type=int, default=60, help="real backend: MD frames"
+    )
+    p.add_argument(
+        "--steps", type=int, default=100, help="real backend: training steps"
+    )
+    p.add_argument(
+        "--plot", action="store_true", help="render the Fig. 2 scatter"
+    )
+    p.add_argument(
+        "--save", default=None, help="persist the campaign to a directory"
+    )
+    p.add_argument(
+        "--export-csv", default=None, help="export figure data as CSV"
+    )
+    p.set_defaults(func=_cmd_campaign)
+
+    p_sens = sub.add_parser(
+        "sensitivity", help="OAT + Morris screening of the genes"
+    )
+    p_sens.add_argument("--seed", type=int, default=0)
+    p_sens.add_argument("--points", type=int, default=11)
+    p_sens.add_argument("--trajectories", type=int, default=25)
+    p_sens.set_defaults(func=_cmd_sensitivity)
+
+    p_nas = sub.add_parser(
+        "nas", help="neural-architecture search (11-gene extension)"
+    )
+    p_nas.add_argument("--seed", type=int, default=0)
+    p_nas.add_argument("--pop-size", type=int, default=60)
+    p_nas.add_argument("--generations", type=int, default=6)
+    p_nas.set_defaults(func=_cmd_nas)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

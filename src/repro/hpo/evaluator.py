@@ -1,0 +1,130 @@
+"""The §2.2.4 fitness-evaluation workflow against the real trainer.
+
+For one individual:
+
+1. decode the seven-gene genome (floor-mod for the categoricals);
+2. create a sub-directory named after the individual's UUID;
+3. render ``input.json`` from the JSON template via
+   ``string.Template`` with the decoded gene values;
+4. invoke the ``dp``-style trainer (in-process or as a subprocess with
+   a timeout) and read the final ``rmse_e_val`` / ``rmse_f_val`` from
+   ``lcurve.out`` as the two-element fitness.
+
+Any exception — timeout, divergence, invalid configuration — escapes
+to :class:`repro.evo.individual.RobustIndividual`, which assigns
+``MAXINT`` fitness.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.deepmd.runner import run_training
+from repro.evo.problem import Problem
+from repro.md.dataset import FrameDataset
+
+
+@dataclass
+class EvaluatorSettings:
+    """Scaled-down training envelope for real evaluations.
+
+    The paper fixes the network shapes and the step count (40 000); the
+    defaults here shrink all three so one evaluation takes seconds.
+    The searched hyperparameters are taken from the phenome, never from
+    here.
+    """
+
+    numb_steps: int = 150
+    batch_size: int = 2
+    disp_freq: int = 50
+    embedding_widths: tuple[int, ...] = (6, 12)
+    axis_neurons: int = 3
+    fitting_widths: tuple[int, ...] = (16, 16)
+    n_workers: int = 6
+    time_limit: Optional[float] = 120.0  # seconds (the paper: 2 hours)
+    seed: int = 0
+    mode: str = "inprocess"
+
+
+class DeepMDProblem(Problem):
+    """Two-objective minimization of (energy RMSE, force RMSE).
+
+    Parameters
+    ----------
+    dataset:
+        Training/validation frames (shared across all evaluations, as
+        the paper shares its FPMD dataset).
+    base_dir:
+        Where UUID-named run directories are created; a temporary
+        directory by default.
+    settings:
+        The fixed (non-searched) training envelope.
+    """
+
+    n_objectives = 2
+
+    def __init__(
+        self,
+        dataset: FrameDataset,
+        base_dir: Optional[str | Path] = None,
+        settings: Optional[EvaluatorSettings] = None,
+    ) -> None:
+        self.dataset = dataset
+        self.settings = settings or EvaluatorSettings()
+        if base_dir is None:
+            self._tmp = tempfile.TemporaryDirectory(prefix="repro-hpo-")
+            self.base_dir = Path(self._tmp.name)
+        else:
+            self.base_dir = Path(base_dir)
+            self.base_dir.mkdir(parents=True, exist_ok=True)
+
+    def _template_variables(
+        self, phenome: dict[str, Any]
+    ) -> dict[str, Any]:
+        s = self.settings
+        return {
+            "start_lr": phenome["start_lr"],
+            "stop_lr": phenome["stop_lr"],
+            "rcut": phenome["rcut"],
+            "rcut_smth": phenome["rcut_smth"],
+            "scale_by_worker": phenome["scale_by_worker"],
+            "desc_activ_func": phenome["desc_activ_func"],
+            "fitting_activ_func": phenome["fitting_activ_func"],
+            "embedding_widths": list(s.embedding_widths),
+            "axis_neurons": s.axis_neurons,
+            "fitting_widths": list(s.fitting_widths),
+            "numb_steps": s.numb_steps,
+            "batch_size": s.batch_size,
+            "disp_freq": s.disp_freq,
+            "seed": s.seed,
+            "data_dir": "",
+        }
+
+    def evaluate_with_metadata(
+        self, phenome: dict[str, Any], uuid: Optional[str] = None
+    ) -> tuple[np.ndarray, dict[str, Any]]:
+        """Run the full workflow; returns fitness and runtime metadata."""
+        run = run_training(
+            base_dir=self.base_dir,
+            variables=self._template_variables(phenome),
+            dataset=self.dataset,
+            time_limit=self.settings.time_limit,
+            mode=self.settings.mode,
+            run_uuid=uuid,
+        )
+        fitness = np.array([run.rmse_e_val, run.rmse_f_val])
+        metadata = {
+            "runtime_minutes": run.wall_time / 60.0,
+            "workdir": str(run.workdir),
+            "phenome": dict(phenome),
+        }
+        return fitness, metadata
+
+    def evaluate(self, phenome: dict[str, Any]) -> np.ndarray:
+        fitness, _ = self.evaluate_with_metadata(phenome)
+        return fitness

@@ -1,0 +1,155 @@
+"""The seven-gene representation (Table 1, §2.2.1–2.2.2).
+
+Each individual is a seven-element real-valued vector:
+
+====================  ====================  =========================
+hyperparameter        initialization range  mutation std. deviation
+====================  ====================  =========================
+``start_lr``          (3.51e-8, 0.01)       0.001
+``stop_lr``           (3.51e-8, 0.0001)     0.0001
+``rcut``              (6.0, 12.0)           0.0625
+``rcut_smth``         (2.0, 6.0)            0.0625
+``scale_by_worker``   (0.0, 3.0)            0.0625
+``desc_activ_func``   (0.0, 5.0)            0.0625
+``fitting_activ_func``(0.0, 5.0)            0.0625
+====================  ====================  =========================
+
+The last three genes decode to strings by floor-then-modulus
+(§2.2.2): ``scale_by_worker`` over {"linear", "sqrt", "none"} and the
+two activation genes over {"relu", "relu6", "softplus", "sigmoid",
+"tanh"}.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.evo.decoder import MixedVectorDecoder
+from repro.nn.activations import ACTIVATION_NAMES
+from repro.nn.lr_schedule import WORKER_SCALINGS
+
+#: Canonical gene order.
+GENE_NAMES: tuple[str, ...] = (
+    "start_lr",
+    "stop_lr",
+    "rcut",
+    "rcut_smth",
+    "scale_by_worker",
+    "desc_activ_func",
+    "fitting_activ_func",
+)
+
+_INIT_RANGES: dict[str, tuple[float, float]] = {
+    "start_lr": (3.51e-8, 0.01),
+    "stop_lr": (3.51e-8, 0.0001),
+    "rcut": (6.0, 12.0),
+    "rcut_smth": (2.0, 6.0),
+    "scale_by_worker": (0.0, 3.0),
+    "desc_activ_func": (0.0, 5.0),
+    "fitting_activ_func": (0.0, 5.0),
+}
+
+_MUTATION_STD: dict[str, float] = {
+    "start_lr": 0.001,
+    "stop_lr": 0.0001,
+    "rcut": 0.0625,
+    "rcut_smth": 0.0625,
+    "scale_by_worker": 0.0625,
+    "desc_activ_func": 0.0625,
+    "fitting_activ_func": 0.0625,
+}
+
+_CATEGORICAL_CHOICES: dict[str, tuple[str, ...]] = {
+    "scale_by_worker": WORKER_SCALINGS,
+    "desc_activ_func": ACTIVATION_NAMES,
+    "fitting_activ_func": ACTIVATION_NAMES,
+}
+
+
+class DeepMDRepresentation:
+    """Bounds, mutation scales, and decoder for the seven-gene genome."""
+
+    gene_names = GENE_NAMES
+
+    #: (7, 2) hard bounds applied after Gaussian mutation (Listing 1's
+    #: ``hard_bounds=DeepMDRepresentation.bounds``) — identical to the
+    #: initialization ranges.
+    bounds: np.ndarray = np.array(
+        [_INIT_RANGES[name] for name in GENE_NAMES]
+    )
+
+    #: (7, 2) initialization ranges (Table 1, column 2).
+    init_ranges: np.ndarray = np.array(
+        [_INIT_RANGES[name] for name in GENE_NAMES]
+    )
+
+    #: (7,) initial Gaussian-mutation standard deviations (column 3).
+    mutation_std: np.ndarray = np.array(
+        [_MUTATION_STD[name] for name in GENE_NAMES]
+    )
+
+    @classmethod
+    def decoder(cls) -> MixedVectorDecoder:
+        """The mixed real/categorical decoder for this genome."""
+        spec = [
+            (name, _CATEGORICAL_CHOICES.get(name))
+            for name in GENE_NAMES
+        ]
+        return MixedVectorDecoder(spec)
+
+    @classmethod
+    def index_of(cls, gene: str) -> int:
+        return GENE_NAMES.index(gene)
+
+    @classmethod
+    def encode(cls, phenome: dict[str, Any]) -> np.ndarray:
+        """Build a genome whose decode reproduces ``phenome``.
+
+        Categorical values are encoded as the (float of the) choice
+        index, which floor-mod decodes back to the same string.  Useful
+        for seeding known configurations (e.g. DeePMD defaults) into a
+        population.
+        """
+        genome = np.zeros(len(GENE_NAMES))
+        for i, name in enumerate(GENE_NAMES):
+            value = phenome[name]
+            choices = _CATEGORICAL_CHOICES.get(name)
+            if choices is None:
+                genome[i] = float(value)
+            else:
+                genome[i] = float(choices.index(value))
+        return genome
+
+    @classmethod
+    def table1(cls) -> list[dict[str, Any]]:
+        """Table 1 as structured rows (the bench prints these)."""
+        return [
+            {
+                "hyperparameter": name,
+                "initialization range": _INIT_RANGES[name],
+                "mutation standard deviation": _MUTATION_STD[name],
+            }
+            for name in GENE_NAMES
+        ]
+
+    @classmethod
+    def validate_phenome(cls, phenome: dict[str, Any]) -> list[str]:
+        """Human-readable problems with a decoded phenome (empty = ok).
+
+        Note that some decodable phenomes are *not* trainable — e.g.
+        ``rcut_smth >= rcut`` — matching the paper's observation that
+        some hyperparameter combinations simply fail; the evaluator
+        converts those failures to MAXINT fitness rather than
+        preventing them.
+        """
+        problems = []
+        if phenome["rcut_smth"] >= phenome["rcut"]:
+            problems.append(
+                f"rcut_smth ({phenome['rcut_smth']:.3f}) >= rcut "
+                f"({phenome['rcut']:.3f}): descriptor undefined"
+            )
+        if phenome["start_lr"] <= 0 or phenome["stop_lr"] <= 0:
+            problems.append("learning rates must be positive")
+        return problems

@@ -1,0 +1,55 @@
+"""CSV exports of the figure data (for external plotting tools)."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.analysis.frontier import frontier_table
+from repro.analysis.levelplot import generation_level_plots
+from repro.analysis.parallel_coords import AXES, parallel_coordinates
+from repro.hpo.campaign import CampaignResult
+
+
+def export_level_plot_csv(
+    result: CampaignResult, path: str | Path
+) -> None:
+    """Fig. 1 raw points: generation, energy, force, viable flag."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["generation", "energy_loss", "force_loss"])
+        for panel in generation_level_plots(result):
+            for e, f in zip(panel.energies, panel.forces):
+                writer.writerow([panel.generation, e, f])
+
+
+def export_frontier_csv(
+    result: CampaignResult, path: str | Path
+) -> None:
+    """Fig. 2 / Table 2 rows."""
+    path = Path(path)
+    rows = frontier_table(result).rows()
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(
+            fh,
+            fieldnames=[
+                "solution",
+                "force error (eV/A)",
+                "energy error (eV/atom)",
+            ],
+        )
+        writer.writeheader()
+        writer.writerows(rows)
+
+
+def export_parallel_coordinates_csv(
+    result: CampaignResult, path: str | Path
+) -> None:
+    """Fig. 3 rows, one line per final solution."""
+    path = Path(path)
+    data = parallel_coordinates(result)
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=list(AXES))
+        writer.writeheader()
+        writer.writerows(data.rows)

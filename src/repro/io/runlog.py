@@ -1,0 +1,101 @@
+"""Campaign run journal (JSONL).
+
+A 12-hour, 100-node campaign needs live observability: which run and
+generation is in flight, how many trainings failed, what the current
+best losses are.  :class:`RunLogger` appends one JSON object per
+generation to a journal file as the campaign executes (via the
+campaign callback hook), and :func:`read_runlog` parses it back —
+including partially written journals from interrupted jobs, which is
+the whole point of logging line-by-line.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.evo.algorithm import GenerationRecord
+
+
+class RunLogger:
+    """Appends per-generation events to a JSONL journal.
+
+    Use as the campaign callback::
+
+        logger = RunLogger(path)
+        Campaign(factory, config).run(callback=logger)
+    """
+
+    def __init__(self, path: str | Path, flush: bool = True) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.flush = flush
+        self._start = time.monotonic()
+        self.events_written = 0
+
+    def __call__(self, run_index: int, record: GenerationRecord) -> None:
+        viable = [ind for ind in record.population if ind.is_viable]
+        if viable:
+            F = np.asarray([ind.fitness for ind in viable])
+            best_force = float(F[:, 1].min())
+            best_energy = float(F[:, 0].min())
+            median_force = float(np.median(F[:, 1]))
+        else:
+            best_force = best_energy = median_force = float("nan")
+        event = {
+            "elapsed_seconds": round(time.monotonic() - self._start, 3),
+            "run": run_index,
+            "generation": record.generation,
+            "evaluated": len(record.evaluated),
+            "failures": record.n_failures,
+            "best_energy": best_energy,
+            "best_force": best_force,
+            "median_force": median_force,
+            "mutation_std_first_gene": float(record.std[0]),
+        }
+        with self.path.open("a") as fh:
+            fh.write(json.dumps(event) + "\n")
+            if self.flush:
+                fh.flush()
+        self.events_written += 1
+
+
+def read_runlog(path: str | Path) -> list[dict[str, Any]]:
+    """Parse a journal, tolerating a truncated final line (a killed
+    job may have died mid-write)."""
+    path = Path(path)
+    events: list[dict[str, Any]] = []
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError:
+            break  # truncated tail: keep what parsed
+    return events
+
+
+def summarize_runlog(events: list[dict[str, Any]]) -> dict[str, Any]:
+    """Campaign-level digest of a journal (possibly from a partial run)."""
+    if not events:
+        return {"runs": 0, "generations": 0, "evaluations": 0}
+    runs = {e["run"] for e in events}
+    finite_force = [
+        e["best_force"]
+        for e in events
+        if isinstance(e["best_force"], (int, float))
+        and np.isfinite(e["best_force"])
+    ]
+    return {
+        "runs": len(runs),
+        "generations": len(events),
+        "evaluations": sum(e["evaluated"] for e in events),
+        "failures": sum(e["failures"] for e in events),
+        "best_force": min(finite_force) if finite_force else float("nan"),
+        "elapsed_seconds": events[-1]["elapsed_seconds"],
+    }

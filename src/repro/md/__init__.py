@@ -1,0 +1,68 @@
+"""Classical molecular-dynamics data generator.
+
+Stands in for the paper's CP2K first-principles trajectories (§2.1.3):
+a molten AlCl3–KCl mixture (66.7 / 33.3 mol %, 160 atoms, cubic box of
+side 17.84 Å, 498 K) simulated here with a Born–Mayer–Huggins +
+damped-shifted-force Coulomb potential under a Langevin thermostat.
+The generated frames carry reference total energies and per-atom
+forces, shuffled and split 75/25 into training and validation sets in
+the same format DeePMD consumes (energy / force / coord / box arrays).
+
+The substitution preserves what matters for the HPO study: a smooth,
+physically structured potential-energy surface in which energies and
+forces are coupled through a gradient relationship, so the two fitness
+objectives genuinely trade off.
+"""
+
+from repro.md.cell import PeriodicCell
+from repro.md.neighbors import NeighborList, neighbor_pairs
+from repro.md.potentials import (
+    BornMayerHuggins,
+    CompositePotential,
+    DSFCoulomb,
+    LennardJones,
+    PairPotential,
+)
+from repro.md.integrator import LangevinIntegrator, VelocityVerlet
+from repro.md.system import (
+    ALCL3_KCL_CHARGES,
+    ALCL3_KCL_MASSES,
+    SPECIES,
+    molten_salt_potential,
+    molten_salt_system,
+)
+from repro.md.simulation import MDSimulation
+from repro.md.dataset import Frame, FrameDataset, Trajectory, generate_dataset
+from repro.md.observables import (
+    mean_squared_displacement,
+    radial_distribution,
+    velocity_autocorrelation,
+)
+from repro.md.ewald import EwaldCoulomb
+
+__all__ = [
+    "PeriodicCell",
+    "NeighborList",
+    "neighbor_pairs",
+    "PairPotential",
+    "LennardJones",
+    "BornMayerHuggins",
+    "DSFCoulomb",
+    "CompositePotential",
+    "VelocityVerlet",
+    "LangevinIntegrator",
+    "MDSimulation",
+    "Frame",
+    "Trajectory",
+    "FrameDataset",
+    "generate_dataset",
+    "molten_salt_system",
+    "molten_salt_potential",
+    "SPECIES",
+    "ALCL3_KCL_MASSES",
+    "ALCL3_KCL_CHARGES",
+    "radial_distribution",
+    "mean_squared_displacement",
+    "velocity_autocorrelation",
+    "EwaldCoulomb",
+]

@@ -1,0 +1,178 @@
+"""Neighbor search with periodic images.
+
+Two entry points:
+
+:func:`neighbor_pairs`
+    Flat ``(i, j, displacement)`` pair arrays for pair-potential energy
+    and force evaluation (each unordered pair appears once).
+
+:class:`NeighborList`
+    Padded per-atom neighbor tables — the layout the DeepPot-SE
+    descriptor consumes: for each atom a fixed-width list of neighbor
+    indices, displacement vectors and a validity mask.
+
+Both support cutoffs larger than half the box (needed because the HPO
+search explores descriptor cutoffs up to 12 Å on boxes that may be
+smaller) by enumerating periodic image shifts, and both use an O(N²)
+distance matrix per image shift, which is the right trade-off for the
+few-hundred-atom systems this reproduction runs: vectorized NumPy
+beats a Python-loop cell list by a wide margin at this size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.md.cell import PeriodicCell
+
+
+def neighbor_pairs(
+    positions: np.ndarray, cell: PeriodicCell, cutoff: float
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """All interacting pairs within ``cutoff``.
+
+    Returns ``(i, j, d)`` where ``d[k] = r_j + shift - r_i`` is the
+    displacement from atom ``i[k]`` to the (possibly image) atom
+    ``j[k]``.  Each unordered pair/image appears exactly once; for
+    same-cell pairs this means ``i < j``, and for image pairs the shift
+    set is de-duplicated by keeping only the lexicographically positive
+    half of the shift vectors.
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    n = len(positions)
+    shifts = cell.image_shifts(cutoff)
+    zero_mask = np.all(shifts == 0.0, axis=1)
+    # keep the zero shift plus one representative of each +/- shift pair
+    keep = []
+    for s, is_zero in zip(shifts, zero_mask):
+        if is_zero:
+            keep.append(s)
+        elif (s[0], s[1], s[2]) > (-s[0], -s[1], -s[2]):
+            keep.append(s)
+    out_i: list[np.ndarray] = []
+    out_j: list[np.ndarray] = []
+    out_d: list[np.ndarray] = []
+    cut2 = cutoff * cutoff
+    for s in keep:
+        diff = positions[None, :, :] + s - positions[:, None, :]
+        dist2 = np.sum(diff * diff, axis=-1)
+        if np.all(s == 0.0):
+            ii, jj = np.where(
+                np.triu(dist2 <= cut2, k=1)
+            )
+        else:
+            ii, jj = np.where(dist2 <= cut2)
+        if len(ii):
+            out_i.append(ii)
+            out_j.append(jj)
+            out_d.append(diff[ii, jj])
+    if not out_i:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), np.empty((0, 3))
+    return (
+        np.concatenate(out_i),
+        np.concatenate(out_j),
+        np.concatenate(out_d),
+    )
+
+
+@dataclass
+class NeighborList:
+    """Padded per-atom neighbor table for descriptor construction.
+
+    Attributes
+    ----------
+    indices:
+        ``(n_atoms, max_neighbors)`` int array of neighbor atom indices
+        (pointing at the *central-cell* copy of each neighbor; forces
+        on image atoms fold back onto their central-cell original).
+        Padded entries hold 0 and are masked out.
+    displacements:
+        ``(n_atoms, max_neighbors, 3)`` displacement vectors from the
+        central atom to each neighbor (image shifts applied).
+    mask:
+        ``(n_atoms, max_neighbors)`` float array, 1 for real neighbors.
+    """
+
+    indices: np.ndarray
+    displacements: np.ndarray
+    mask: np.ndarray
+
+    @property
+    def n_atoms(self) -> int:
+        return self.indices.shape[0]
+
+    @property
+    def max_neighbors(self) -> int:
+        return self.indices.shape[1]
+
+    def neighbor_counts(self) -> np.ndarray:
+        return self.mask.sum(axis=1).astype(int)
+
+    @classmethod
+    def build(
+        cls,
+        positions: np.ndarray,
+        cell: PeriodicCell,
+        cutoff: float,
+        max_neighbors: int | None = None,
+    ) -> "NeighborList":
+        """Construct the padded table from a configuration.
+
+        ``max_neighbors`` defaults to the observed maximum; passing a
+        fixed value gives consistent array shapes across frames (and
+        raises if any atom exceeds it).
+        """
+        positions = np.asarray(positions, dtype=np.float64)
+        n = len(positions)
+        cut2 = cutoff * cutoff
+        all_i: list[np.ndarray] = []
+        all_j: list[np.ndarray] = []
+        all_d: list[np.ndarray] = []
+        # enumerate each unordered pair/image once (the same canonical
+        # half-shift set as neighbor_pairs) and emit both directions
+        # with exactly negated displacements, so the table is exactly
+        # symmetric even for pairs sitting on the cutoff boundary
+        pi, pj, pd = neighbor_pairs(positions, cell, cutoff)
+        if len(pi):
+            all_i.append(pi)
+            all_j.append(pj)
+            all_d.append(pd)
+            all_i.append(pj)
+            all_j.append(pi)
+            all_d.append(-pd)
+        if all_i:
+            flat_i = np.concatenate(all_i)
+            flat_j = np.concatenate(all_j)
+            flat_d = np.concatenate(all_d)
+        else:
+            flat_i = np.empty(0, dtype=np.int64)
+            flat_j = np.empty(0, dtype=np.int64)
+            flat_d = np.empty((0, 3))
+        counts = np.bincount(flat_i, minlength=n)
+        observed_max = int(counts.max()) if len(counts) else 0
+        if max_neighbors is None:
+            width = max(observed_max, 1)
+        else:
+            if observed_max > max_neighbors:
+                raise ValueError(
+                    f"an atom has {observed_max} neighbors, exceeding the "
+                    f"requested max_neighbors={max_neighbors}"
+                )
+            width = max_neighbors
+        indices = np.zeros((n, width), dtype=np.int64)
+        disp = np.zeros((n, width, 3))
+        mask = np.zeros((n, width))
+        if len(flat_i):
+            # group by central atom, closest-first within each group
+            r2 = np.sum(flat_d * flat_d, axis=1)
+            order = np.lexsort((r2, flat_i))
+            si, sj, sd = flat_i[order], flat_j[order], flat_d[order]
+            offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+            slots = np.arange(len(si)) - offsets[si]
+            indices[si, slots] = sj
+            disp[si, slots] = sd
+            mask[si, slots] = 1.0
+        return cls(indices=indices, displacements=disp, mask=mask)

@@ -1,0 +1,40 @@
+"""Multiobjective optimization utilities.
+
+Pareto-dominance primitives, front extraction (the paper's Fig. 2 /
+Table 2 machinery), quality indicators used to compare optimizer
+configurations (hypervolume, IGD, spread), and the ZDT test suite on
+which the NSGA-II implementation is validated before being trusted
+with expensive DeePMD trainings.
+"""
+
+from repro.mo.dominance import (
+    dominates,
+    non_dominated_mask,
+    pareto_front_indices,
+)
+from repro.mo.pareto import ParetoArchive, pareto_front
+from repro.mo.metrics import (
+    generational_distance,
+    hypervolume_2d,
+    inverted_generational_distance,
+    spread_2d,
+)
+from repro.mo.testsuite import ZDT1, ZDT2, ZDT3, ZDT4, ZDT6, ZDTProblem
+
+__all__ = [
+    "dominates",
+    "non_dominated_mask",
+    "pareto_front_indices",
+    "pareto_front",
+    "ParetoArchive",
+    "hypervolume_2d",
+    "generational_distance",
+    "inverted_generational_distance",
+    "spread_2d",
+    "ZDTProblem",
+    "ZDT1",
+    "ZDT2",
+    "ZDT3",
+    "ZDT4",
+    "ZDT6",
+]

@@ -1,0 +1,43 @@
+"""Pareto-dominance primitives (minimization convention throughout)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def dominates(a: np.ndarray, b: np.ndarray) -> bool:
+    """True when ``a`` Pareto-dominates ``b``: no worse in every
+    objective and strictly better in at least one."""
+    a = np.atleast_1d(np.asarray(a, dtype=np.float64))
+    b = np.atleast_1d(np.asarray(b, dtype=np.float64))
+    if a.shape != b.shape:
+        raise ValueError("fitness vectors must share a shape")
+    return bool(np.all(a <= b) and np.any(a < b))
+
+
+def non_dominated_mask(fitnesses: np.ndarray) -> np.ndarray:
+    """Boolean mask of the non-dominated rows of an ``(N, M)`` matrix.
+
+    Exact duplicates of a non-dominated point are all kept (they do not
+    dominate each other), matching the front definition used for the
+    paper's Table 2.
+    """
+    F = np.asarray(fitnesses, dtype=np.float64)
+    if F.ndim != 2:
+        raise ValueError("expected an (N, M) fitness matrix")
+    n = len(F)
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    le = np.all(F[:, None, :] <= F[None, :, :], axis=-1)
+    lt = np.any(F[:, None, :] < F[None, :, :], axis=-1)
+    dominated = (le & lt).any(axis=0)
+    return ~dominated
+
+
+def pareto_front_indices(fitnesses: np.ndarray) -> np.ndarray:
+    """Indices of the non-dominated rows, sorted by the first objective."""
+    mask = non_dominated_mask(fitnesses)
+    idx = np.where(mask)[0]
+    F = np.asarray(fitnesses, dtype=np.float64)
+    order = np.lexsort((F[idx, -1], F[idx, 0]))
+    return idx[order]

@@ -1,0 +1,143 @@
+"""The ZDT two-objective test suite (Zitzler, Deb & Thiele 2000).
+
+The paper's NSGA-II is validated here before being pointed at the
+expensive DeePMD landscape: each ZDT problem has a known analytic
+Pareto front, so convergence and coverage can be asserted numerically
+(see ``tests/test_nsga2_validation.py`` and
+``examples/nsga2_zdt.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evo.problem import Problem
+
+
+class ZDTProblem(Problem):
+    """Base for the ZDT family: 2 objectives over [0, 1]^n genomes."""
+
+    n_objectives = 2
+
+    def __init__(self, n_variables: int = 30) -> None:
+        if n_variables < 2:
+            raise ValueError("ZDT problems need at least two variables")
+        self.n_variables = int(n_variables)
+
+    @property
+    def bounds(self) -> np.ndarray:
+        """(n, 2) genome bounds."""
+        return np.tile([0.0, 1.0], (self.n_variables, 1))
+
+    def true_front(self, n_points: int = 200) -> np.ndarray:
+        """Sampled analytic Pareto front (f1, f2) pairs."""
+        raise NotImplementedError
+
+    # subclasses implement g() and h()
+    def _g(self, x: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def _h(self, f1: float, g: float) -> float:
+        raise NotImplementedError
+
+    def evaluate(self, phenome: np.ndarray) -> np.ndarray:
+        x = np.asarray(phenome, dtype=np.float64)
+        f1 = float(x[0])
+        g = self._g(x)
+        return np.array([f1, g * self._h(f1, g)])
+
+
+class ZDT1(ZDTProblem):
+    """Convex front: ``f2 = 1 - sqrt(f1)``."""
+
+    def _g(self, x):
+        return 1.0 + 9.0 * np.mean(x[1:])
+
+    def _h(self, f1, g):
+        return 1.0 - np.sqrt(f1 / g)
+
+    def true_front(self, n_points: int = 200) -> np.ndarray:
+        f1 = np.linspace(0.0, 1.0, n_points)
+        return np.column_stack([f1, 1.0 - np.sqrt(f1)])
+
+
+class ZDT2(ZDTProblem):
+    """Concave front: ``f2 = 1 - f1^2``."""
+
+    def _g(self, x):
+        return 1.0 + 9.0 * np.mean(x[1:])
+
+    def _h(self, f1, g):
+        return 1.0 - (f1 / g) ** 2
+
+    def true_front(self, n_points: int = 200) -> np.ndarray:
+        f1 = np.linspace(0.0, 1.0, n_points)
+        return np.column_stack([f1, 1.0 - f1**2])
+
+
+class ZDT3(ZDTProblem):
+    """Disconnected front with a sinusoidal component."""
+
+    def _g(self, x):
+        return 1.0 + 9.0 * np.mean(x[1:])
+
+    def _h(self, f1, g):
+        ratio = f1 / g
+        return 1.0 - np.sqrt(ratio) - ratio * np.sin(10.0 * np.pi * f1)
+
+    def true_front(self, n_points: int = 500) -> np.ndarray:
+        f1 = np.linspace(0.0, 0.852, n_points)
+        f2 = 1.0 - np.sqrt(f1) - f1 * np.sin(10.0 * np.pi * f1)
+        pts = np.column_stack([f1, f2])
+        from repro.mo.dominance import non_dominated_mask
+
+        return pts[non_dominated_mask(pts)]
+
+
+class ZDT4(ZDTProblem):
+    """Highly multimodal (Rastrigin-like g); front as ZDT1.
+
+    Variables beyond the first live in [-5, 5].
+    """
+
+    def __init__(self, n_variables: int = 10) -> None:
+        super().__init__(n_variables)
+
+    @property
+    def bounds(self) -> np.ndarray:
+        b = np.tile([-5.0, 5.0], (self.n_variables, 1))
+        b[0] = [0.0, 1.0]
+        return b
+
+    def _g(self, x):
+        tail = x[1:]
+        return (
+            1.0
+            + 10.0 * len(tail)
+            + float(np.sum(tail**2 - 10.0 * np.cos(4.0 * np.pi * tail)))
+        )
+
+    def _h(self, f1, g):
+        return 1.0 - np.sqrt(f1 / g)
+
+    def true_front(self, n_points: int = 200) -> np.ndarray:
+        f1 = np.linspace(0.0, 1.0, n_points)
+        return np.column_stack([f1, 1.0 - np.sqrt(f1)])
+
+
+class ZDT6(ZDTProblem):
+    """Non-uniform density along a concave front."""
+
+    def __init__(self, n_variables: int = 10) -> None:
+        super().__init__(n_variables)
+
+    def evaluate(self, phenome: np.ndarray) -> np.ndarray:
+        x = np.asarray(phenome, dtype=np.float64)
+        f1 = 1.0 - np.exp(-4.0 * x[0]) * np.sin(6.0 * np.pi * x[0]) ** 6
+        g = 1.0 + 9.0 * (np.mean(x[1:]) ** 0.25)
+        f2 = g * (1.0 - (f1 / g) ** 2)
+        return np.array([f1, f2])
+
+    def true_front(self, n_points: int = 200) -> np.ndarray:
+        f1 = np.linspace(0.2807753191, 1.0, n_points)
+        return np.column_stack([f1, 1.0 - f1**2])

@@ -1,0 +1,42 @@
+"""Neural-network building blocks on top of :mod:`repro.autodiff`.
+
+Provides exactly the pieces DeePMD-kit training needs and the paper
+searches over: the five activation functions (§2.2.1), dense layers
+with optional residual ("timestep") connections as used by DeepPot-SE,
+the Adam optimizer, the exponential learning-rate decay between
+``start_lr`` and ``stop_lr``, the per-worker learning-rate scaling rule
+({"linear", "sqrt", "none"}), and the energy/force loss whose
+prefactors follow the decaying learning rate.
+"""
+
+from repro.nn.activations import (
+    ACTIVATIONS,
+    ACTIVATION_NAMES,
+    get_activation,
+)
+from repro.nn.layers import Dense, ResidualDense
+from repro.nn.network import MLP
+from repro.nn.optimizer import SGD, Adam, Optimizer
+from repro.nn.lr_schedule import (
+    WORKER_SCALINGS,
+    ExponentialDecay,
+    scale_lr_by_workers,
+)
+from repro.nn.loss import EnergyForceLoss, PrefactorSchedule
+
+__all__ = [
+    "ACTIVATIONS",
+    "ACTIVATION_NAMES",
+    "get_activation",
+    "Dense",
+    "ResidualDense",
+    "MLP",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "ExponentialDecay",
+    "scale_lr_by_workers",
+    "WORKER_SCALINGS",
+    "EnergyForceLoss",
+    "PrefactorSchedule",
+]

@@ -1,0 +1,42 @@
+"""The activation-function registry searched by the paper.
+
+§2.2.1: both ``desc_activ_func`` and ``fitting_activ_func`` map to one
+of ``{"relu", "relu6", "softplus", "sigmoid", "tanh"}``.  The ordering
+of :data:`ACTIVATION_NAMES` is the canonical decode order used by the
+floor-modulus genome decoder, so it must remain stable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.autodiff import functional as F
+from repro.autodiff.tensor import Tensor
+
+#: Decode order for categorical genes (do not reorder; see
+#: :class:`repro.hpo.representation.DeepMDRepresentation`).
+ACTIVATION_NAMES: tuple[str, ...] = (
+    "relu",
+    "relu6",
+    "softplus",
+    "sigmoid",
+    "tanh",
+)
+
+ACTIVATIONS: dict[str, Callable[[Tensor], Tensor]] = {
+    "relu": F.relu,
+    "relu6": F.relu6,
+    "softplus": F.softplus,
+    "sigmoid": F.sigmoid,
+    "tanh": F.tanh,
+}
+
+
+def get_activation(name: str) -> Callable[[Tensor], Tensor]:
+    """Look up an activation by name, with a helpful error message."""
+    try:
+        return ACTIVATIONS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown activation {name!r}; expected one of {ACTIVATION_NAMES}"
+        ) from None

@@ -1,0 +1,79 @@
+"""Dense layers.
+
+DeepPot-SE's embedding network grows its width layer to layer and uses
+"timestep" residual connections when the output width equals (or
+doubles) the input width; :class:`ResidualDense` reproduces that
+behaviour, and :class:`Dense` is the plain affine+activation layer used
+by the fitting network.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.autodiff import functional as F
+from repro.autodiff.tensor import Tensor
+from repro.rng import RngLike, ensure_rng
+
+
+class Dense:
+    """Affine transform plus optional activation.
+
+    Weights use Glorot-style normal initialization scaled by fan-in +
+    fan-out, matching DeePMD-kit's default initializer closely enough
+    for the training dynamics the HPO explores.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        activation: Optional[Callable[[Tensor], Tensor]] = None,
+        rng: RngLike = None,
+    ) -> None:
+        gen = ensure_rng(rng)
+        scale = np.sqrt(2.0 / (in_features + out_features))
+        self.weight = Tensor(
+            gen.normal(0.0, scale, size=(in_features, out_features)),
+            requires_grad=True,
+            name="weight",
+        )
+        self.bias = Tensor(
+            np.zeros(out_features), requires_grad=True, name="bias"
+        )
+        self.activation = activation
+        self.in_features = in_features
+        self.out_features = out_features
+
+    def __call__(self, x: Tensor) -> Tensor:
+        y = F.add(F.matmul(x, self.weight), self.bias)
+        if self.activation is not None:
+            y = self.activation(y)
+        return y
+
+    @property
+    def parameters(self) -> list[Tensor]:
+        return [self.weight, self.bias]
+
+    def n_parameters(self) -> int:
+        return self.weight.size + self.bias.size
+
+
+class ResidualDense(Dense):
+    """Dense layer with DeepPot-SE timestep/residual connection.
+
+    When ``out_features == in_features`` the input is added to the
+    output; when ``out_features == 2 * in_features`` the input is
+    concatenated with itself before the addition.  Otherwise the layer
+    degrades to a plain :class:`Dense`.
+    """
+
+    def __call__(self, x: Tensor) -> Tensor:
+        y = super().__call__(x)
+        if self.out_features == self.in_features:
+            return F.add(y, x)
+        if self.out_features == 2 * self.in_features:
+            return F.add(y, F.concatenate([x, x], axis=-1))
+        return y

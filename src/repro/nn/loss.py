@@ -1,0 +1,100 @@
+"""The DeePMD energy/force training loss.
+
+§2.2.1: "The loss function is a weighted sum of mean-squared errors of
+energy and forces, and is weighted by different prefactors which are
+themselves functions of the decaying learning rates, with the force
+prefactor dominating the loss function at the start of training, and
+decreasing as the training proceeds, and the reverse for the energy
+loss prefactor."
+
+With ``f(t) = lr(t)/lr(0)`` the prefactors interpolate
+
+``p_e(t) = p_e_limit * (1 - f(t)) + p_e_start * f(t)``
+``p_f(t) = p_f_limit * (1 - f(t)) + p_f_start * f(t)``
+
+The paper fixes ``(p_e_start, p_f_start, p_e_limit, p_f_limit) =
+(0.02, 1000, 1, 1)`` (§2.1.2); these are the defaults here and are not
+part of the hyperparameter search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.autodiff import functional as F
+from repro.autodiff.tensor import Tensor
+from repro.nn.lr_schedule import ExponentialDecay
+
+
+@dataclass(frozen=True)
+class PrefactorSchedule:
+    """Learning-rate-coupled loss prefactors (paper defaults, §2.1.2)."""
+
+    pe_start: float = 0.02
+    pf_start: float = 1000.0
+    pe_limit: float = 1.0
+    pf_limit: float = 1.0
+
+    def at(self, decay_fraction: float) -> tuple[float, float]:
+        """``(p_e, p_f)`` at a given ``lr(t)/lr(0)`` fraction."""
+        f = decay_fraction
+        pe = self.pe_limit * (1.0 - f) + self.pe_start * f
+        pf = self.pf_limit * (1.0 - f) + self.pf_start * f
+        return pe, pf
+
+
+class EnergyForceLoss:
+    """Weighted energy+force MSE with scheduled prefactors.
+
+    Energy errors are normalized per atom (matching DeePMD's
+    ``rmse_e`` in eV/atom) and force errors per component (eV/Å).
+    """
+
+    def __init__(
+        self,
+        schedule: ExponentialDecay,
+        prefactors: PrefactorSchedule | None = None,
+        n_atoms: int = 1,
+    ) -> None:
+        self.schedule = schedule
+        self.prefactors = prefactors or PrefactorSchedule()
+        self.n_atoms = int(n_atoms)
+
+    def __call__(
+        self,
+        step: int,
+        energy_pred: Tensor,
+        energy_ref: Tensor,
+        force_pred: Tensor,
+        force_ref: Tensor,
+    ) -> Tensor:
+        """Scalar loss at training ``step``.
+
+        ``energy_*`` are total energies per frame (any shape);
+        ``force_*`` are per-atom force components.
+        """
+        pe, pf = self.prefactors.at(self.schedule.decay_fraction(step))
+        e_err = F.sub(energy_pred, energy_ref)
+        e_per_atom = F.div(e_err, float(self.n_atoms))
+        e_mse = F.mean(F.mul(e_per_atom, e_per_atom))
+        f_err = F.sub(force_pred, force_ref)
+        f_mse = F.mean(F.mul(f_err, f_err))
+        return F.add(F.mul(e_mse, pe), F.mul(f_mse, pf))
+
+    @staticmethod
+    def rmse_energy(energy_pred, energy_ref, n_atoms: int) -> float:
+        """Validation-style energy RMSE in eV/atom (plain ndarray math)."""
+        import numpy as np
+
+        ep = energy_pred.data if isinstance(energy_pred, Tensor) else energy_pred
+        er = energy_ref.data if isinstance(energy_ref, Tensor) else energy_ref
+        return float(np.sqrt(np.mean(((np.asarray(ep) - np.asarray(er)) / n_atoms) ** 2)))
+
+    @staticmethod
+    def rmse_force(force_pred, force_ref) -> float:
+        """Validation-style force RMSE in eV/Å."""
+        import numpy as np
+
+        fp = force_pred.data if isinstance(force_pred, Tensor) else force_pred
+        fr = force_ref.data if isinstance(force_ref, Tensor) else force_ref
+        return float(np.sqrt(np.mean((np.asarray(fp) - np.asarray(fr)) ** 2)))

@@ -1,0 +1,64 @@
+"""Multi-layer perceptrons assembled from dense layers."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.autodiff.tensor import Tensor
+from repro.nn.layers import Dense, ResidualDense
+from repro.rng import RngLike, ensure_rng
+
+
+class MLP:
+    """A feed-forward network.
+
+    Parameters
+    ----------
+    layer_sizes:
+        Widths including the input width, e.g. ``[1, 25, 50, 100]`` for
+        the paper's embedding net applied to the scalar ``s(r)``.
+    activation:
+        Hidden-layer activation (one of the five searched functions).
+    final_activation:
+        Activation for the last layer; ``None`` leaves it linear, which
+        is what the fitting network's energy head requires.
+    residual:
+        Use DeepPot-SE style residual (timestep) connections where the
+        widths allow it.
+    """
+
+    def __init__(
+        self,
+        layer_sizes: Sequence[int],
+        activation: Callable[[Tensor], Tensor],
+        final_activation: Optional[Callable[[Tensor], Tensor]] = None,
+        residual: bool = False,
+        rng: RngLike = None,
+    ) -> None:
+        if len(layer_sizes) < 2:
+            raise ValueError("need at least an input and an output width")
+        gen = ensure_rng(rng)
+        cls = ResidualDense if residual else Dense
+        self.layers: list[Dense] = []
+        n = len(layer_sizes) - 1
+        for i in range(n):
+            act = activation if i < n - 1 else final_activation
+            self.layers.append(
+                cls(layer_sizes[i], layer_sizes[i + 1], act, rng=gen)
+            )
+        self.layer_sizes = tuple(layer_sizes)
+
+    def __call__(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    @property
+    def parameters(self) -> list[Tensor]:
+        out: list[Tensor] = []
+        for layer in self.layers:
+            out.extend(layer.parameters)
+        return out
+
+    def n_parameters(self) -> int:
+        return sum(layer.n_parameters() for layer in self.layers)

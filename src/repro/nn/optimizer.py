@@ -1,0 +1,111 @@
+"""Gradient-descent optimizers.
+
+DeePMD-kit trains with Adam under an exponentially decaying learning
+rate; :class:`Adam` reproduces the standard bias-corrected update.  A
+plain :class:`SGD` is provided for tests and ablations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor
+
+
+class Optimizer:
+    """Base class: owns a parameter list and a mutable learning rate."""
+
+    def __init__(self, parameters: Iterable[Tensor], lr: float) -> None:
+        self.parameters: list[Tensor] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer needs at least one parameter")
+        for p in self.parameters:
+            if not p.requires_grad:
+                raise ValueError("all optimized tensors must require grad")
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.grad = None
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Vanilla stochastic gradient descent with optional momentum."""
+
+    def __init__(
+        self, parameters: Iterable[Tensor], lr: float, momentum: float = 0.0
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.momentum = float(momentum)
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for p, v in zip(self.parameters, self._velocity):
+            if p.grad is None:
+                continue
+            if self.momentum:
+                v *= self.momentum
+                v += p.grad
+                p.data -= self.lr * v
+            else:
+                p.data -= self.lr * p.grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba 2015) with bias correction."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Tensor],
+        lr: float = 1e-3,
+        betas: Sequence[float] = (0.9, 0.999),
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = float(betas[0]), float(betas[1])
+        self.eps = float(eps)
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._t = 0
+
+    def state_dict(self) -> dict:
+        """Serializable optimizer state (moments + step counter)."""
+        return {
+            "t": self._t,
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+            "lr": self.lr,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        if len(state["m"]) != len(self._m):
+            raise ValueError("optimizer state does not match parameters")
+        self._t = int(state["t"])
+        self.lr = float(state["lr"])
+        for dst, src in zip(self._m, state["m"]):
+            if dst.shape != np.asarray(src).shape:
+                raise ValueError("moment shape mismatch")
+            dst[...] = src
+        for dst, src in zip(self._v, state["v"]):
+            dst[...] = src
+
+    def step(self) -> None:
+        self._t += 1
+        bc1 = 1.0 - self.beta1**self._t
+        bc2 = 1.0 - self.beta2**self._t
+        for p, m, v in zip(self.parameters, self._m, self._v):
+            if p.grad is None:
+                continue
+            g = p.grad
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * g * g
+            m_hat = m / bc1
+            v_hat = v / bc2
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,30 @@
+"""Shared fixtures.
+
+The expensive fixtures (MD dataset, trained batches) are session-scoped
+so the integration-heavy test files reuse one instance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.md.dataset import FrameDataset, generate_dataset
+
+
+@pytest.fixture(scope="session")
+def small_dataset() -> FrameDataset:
+    """A 20-atom molten-salt dataset: ~30 frames, fast to train on."""
+    return generate_dataset(
+        n_frames=32,
+        n_alcl3=4,
+        n_kcl=2,
+        equilibration_steps=60,
+        sample_interval=4,
+        rng=1234,
+    )
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)

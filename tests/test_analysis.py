@@ -1,0 +1,211 @@
+"""Tests for the table/figure regeneration layer (repro.analysis)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    convergence_summary,
+    format_table,
+    frontier_table,
+    generation_level_plots,
+    parallel_coordinates,
+    table3_rows,
+)
+from repro.analysis.levelplot import CULL_ENERGY_MAX, CULL_FORCE_MAX
+from repro.hpo.campaign import Campaign, CampaignConfig
+from repro.hpo.landscape import SurrogateDeepMDProblem
+
+
+@pytest.fixture(scope="module")
+def campaign_result():
+    config = CampaignConfig(
+        n_runs=3, pop_size=40, generations=4, base_seed=2023
+    )
+    return Campaign(
+        lambda seed: SurrogateDeepMDProblem(seed=seed), config
+    ).run()
+
+
+class TestLevelPlots:
+    def test_one_panel_per_generation(self, campaign_result):
+        panels = generation_level_plots(campaign_result)
+        assert len(panels) == 5
+        assert [p.generation for p in panels] == [0, 1, 2, 3, 4]
+
+    def test_max_generation_limits_panels(self, campaign_result):
+        panels = generation_level_plots(campaign_result, max_generation=2)
+        assert len(panels) == 3
+
+    def test_culling_thresholds_match_paper(self):
+        assert CULL_FORCE_MAX == 0.6
+        assert CULL_ENERGY_MAX == 0.03
+
+    def test_generation_zero_has_culled_outliers(self, campaign_result):
+        panels = generation_level_plots(campaign_result)
+        assert panels[0].n_culled > 0
+
+    def test_late_generations_concentrate(self, campaign_result):
+        panels = generation_level_plots(campaign_result)
+        first = panels[0].summary()
+        last = panels[-1].summary()
+        assert last["median_force"] < first["median_force"]
+
+    def test_histogram_counts_match_kept_points(self, campaign_result):
+        panels = generation_level_plots(campaign_result)
+        p = panels[-1]
+        kept = (
+            (p.forces <= CULL_FORCE_MAX) & (p.energies <= CULL_ENERGY_MAX)
+        ).sum()
+        assert p.histogram.sum() == kept
+
+    def test_failed_counted_separately(self, campaign_result):
+        panels = generation_level_plots(campaign_result)
+        total_failed = sum(p.n_failed for p in panels)
+        assert total_failed == sum(
+            campaign_result.failures_by_generation()
+        )
+
+
+class TestFrontierTable:
+    def test_rows_sorted_by_force(self, campaign_result):
+        table = frontier_table(campaign_result)
+        forces = [r["force error (eV/A)"] for r in table.rows()]
+        assert forces == sorted(forces)
+
+    def test_monotone_tradeoff(self, campaign_result):
+        table = frontier_table(campaign_result)
+        assert table.monotone_tradeoff()
+
+    def test_solution_numbering(self, campaign_result):
+        rows = frontier_table(campaign_result).rows()
+        assert [r["solution"] for r in rows] == list(
+            range(1, len(rows) + 1)
+        )
+
+    def test_accepts_individual_list(self, campaign_result):
+        pool = campaign_result.last_generation_individuals()
+        table = frontier_table(pool)
+        assert len(table) >= 1
+
+    def test_fitness_matrix_shape(self, campaign_result):
+        table = frontier_table(campaign_result)
+        assert table.fitness_matrix().shape == (len(table), 2)
+
+
+class TestParallelCoordinates:
+    def test_rows_have_all_axes(self, campaign_result):
+        data = parallel_coordinates(campaign_result)
+        from repro.analysis.parallel_coords import AXES
+
+        for axis in AXES:
+            assert axis in data.rows[0]
+
+    def test_only_viable_rows(self, campaign_result):
+        data = parallel_coordinates(campaign_result)
+        assert all(np.isfinite(r["force_loss"]) for r in data.rows)
+
+    def test_frontier_membership_marked(self, campaign_result):
+        data = parallel_coordinates(campaign_result)
+        n_frontier = sum(r["on_frontier"] for r in data.rows)
+        assert n_frontier == len(frontier_table(campaign_result))
+
+    def test_accurate_rows_subset(self, campaign_result):
+        data = parallel_coordinates(campaign_result)
+        accurate = data.accurate_rows()
+        assert all(r["force_loss"] < 0.04 for r in accurate)
+        assert all(r["energy_loss"] < 0.004 for r in accurate)
+
+    def test_categorical_counts(self, campaign_result):
+        data = parallel_coordinates(campaign_result)
+        counts = data.categorical_counts("scale_by_worker")
+        assert sum(counts.values()) == len(data)
+        assert set(counts) <= {"linear", "sqrt", "none"}
+
+    def test_unknown_axis_raises(self, campaign_result):
+        data = parallel_coordinates(campaign_result)
+        with pytest.raises(KeyError):
+            data.axis_values("nonexistent")
+
+    def test_accurate_solutions_have_large_rcut(self, campaign_result):
+        """The §3.2 finding: chemically accurate solutions sit in the
+        upper rcut range."""
+        data = parallel_coordinates(campaign_result)
+        accurate = data.accurate_rows()
+        if accurate:
+            assert min(r["rcut"] for r in accurate) > 7.5
+
+
+class TestTable3:
+    def test_three_criteria(self, campaign_result):
+        rows = table3_rows(campaign_result)
+        assert [r.criterion for r in rows] == [
+            "lowest force loss",
+            "lowest energy loss",
+            "lowest runtime",
+        ]
+
+    def test_rows_carry_all_genes(self, campaign_result):
+        from repro.hpo.representation import GENE_NAMES
+
+        rows = [r.as_dict() for r in table3_rows(campaign_result)]
+        for row in rows:
+            if row["found"]:
+                for gene in GENE_NAMES:
+                    assert gene in row
+
+    def test_criteria_are_minima(self, campaign_result):
+        from repro.hpo.chemical import filter_chemically_accurate
+
+        accurate = filter_chemically_accurate(
+            campaign_result.last_generation_individuals()
+        )
+        rows = table3_rows(campaign_result)
+        by_name = {r.criterion: r.individual for r in rows}
+        if accurate:
+            min_force = min(float(i.fitness[1]) for i in accurate)
+            assert float(
+                by_name["lowest force loss"].fitness[1]
+            ) == pytest.approx(min_force)
+
+    def test_empty_pool_yields_not_found(self):
+        rows = table3_rows([])
+        assert all(not r.as_dict()["found"] for r in rows)
+
+
+class TestConvergence:
+    def test_summary_covers_generations(self, campaign_result):
+        summary = convergence_summary(campaign_result)
+        assert summary.generations == [0, 1, 2, 3, 4]
+
+    def test_first_step_largest_shift(self, campaign_result):
+        """§3.1: the big clean-up happens in the first EA step."""
+        summary = convergence_summary(campaign_result)
+        shifts = summary.median_shift()
+        assert shifts[0] == shifts.max()
+
+    def test_converged_by_before_end(self, campaign_result):
+        summary = convergence_summary(campaign_result)
+        g = summary.converged_by(tolerance=0.5)
+        assert g <= 4
+
+    def test_iqr_shrinks(self, campaign_result):
+        summary = convergence_summary(campaign_result)
+        assert summary.iqr_force[-1] < summary.iqr_force[0]
+
+
+class TestFormatTable:
+    def test_renders_columns(self):
+        text = format_table(
+            [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.00012}],
+            title="T",
+        )
+        assert text.splitlines()[0] == "T"
+        assert "a" in text and "b" in text
+        assert "1.2" in text  # scientific formatting of small floats
+
+    def test_empty_rows(self):
+        assert "(empty)" in format_table([], title="x")
+
+    def test_column_selection(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]

@@ -1,0 +1,199 @@
+"""Unit tests for the Tensor core: construction, backward, grad API."""
+
+import numpy as np
+import pytest
+
+from repro import autodiff as ad
+from repro.autodiff.tensor import Tensor, grad, no_grad, is_grad_enabled
+
+
+class TestTensorBasics:
+    def test_construction_from_list(self):
+        t = Tensor([1.0, 2.0])
+        assert t.shape == (2,)
+        assert t.data.dtype == np.float64
+
+    def test_construction_from_scalar(self):
+        t = Tensor(3.5)
+        assert t.shape == ()
+        assert t.item() == 3.5
+
+    def test_construction_copies_tensor_data(self):
+        a = Tensor([1.0, 2.0])
+        b = Tensor(a)
+        assert np.array_equal(a.data, b.data)
+
+    def test_requires_grad_default_false(self):
+        assert not Tensor([1.0]).requires_grad
+
+    def test_leaf_detection(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = a + 1.0
+        assert a.is_leaf
+        assert not b.is_leaf
+
+    def test_detach_shares_data_but_drops_graph(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = (a * 2.0).detach()
+        assert b.is_leaf
+        assert not b.requires_grad
+
+    def test_numpy_returns_reference(self):
+        a = Tensor([1.0, 2.0])
+        a.numpy()[0] = 5.0
+        assert a.data[0] == 5.0
+
+    def test_len(self):
+        assert len(Tensor([1.0, 2.0, 3.0])) == 3
+
+    def test_repr_mentions_requires_grad(self):
+        assert "requires_grad" in repr(Tensor([1.0], requires_grad=True))
+
+
+class TestBackward:
+    def test_simple_square(self):
+        x = Tensor([1.0, 2.0, 3.0], requires_grad=True)
+        y = (x * x).sum()
+        y.backward()
+        assert np.allclose(x.grad, [2.0, 4.0, 6.0])
+
+    def test_grad_accumulates_across_backward_calls(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2.0).sum().backward()
+        (x * 2.0).sum().backward()
+        assert np.allclose(x.grad, [4.0])
+
+    def test_zero_grad(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2.0).sum().backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_backward_with_seed_gradient(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = x * 3.0
+        y.backward(gradient=np.array([1.0, 10.0]))
+        assert np.allclose(x.grad, [3.0, 30.0])
+
+    def test_backward_seed_shape_mismatch_raises(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = x * 3.0
+        with pytest.raises(ValueError, match="shape"):
+            y.backward(gradient=np.array([1.0, 2.0, 3.0]))
+
+    def test_diamond_graph_accumulates(self):
+        # y = x*x + x*x should give 4x
+        x = Tensor([3.0], requires_grad=True)
+        a = x * x
+        y = (a + a).sum()
+        y.backward()
+        assert np.allclose(x.grad, [12.0])
+
+    def test_shared_subexpression(self):
+        x = Tensor([2.0], requires_grad=True)
+        s = x * 3.0
+        y = (s * s).sum()  # 9x^2 -> 18x
+        y.backward()
+        assert np.allclose(x.grad, [36.0])
+
+    def test_deep_chain_no_recursion_error(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = x
+        for _ in range(3000):
+            y = y + 1.0
+        y.sum().backward()
+        assert np.allclose(x.grad, [1.0])
+
+    def test_no_grad_through_constant(self):
+        x = Tensor([1.0], requires_grad=True)
+        c = Tensor([2.0])  # constant
+        y = (x * c).sum()
+        y.backward()
+        assert c.grad is None
+        assert np.allclose(x.grad, [2.0])
+
+
+class TestGradAPI:
+    def test_grad_returns_without_mutating(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = (x**2.0).sum()
+        (g,) = grad(y, [x])
+        assert np.allclose(g.data, [2.0, 4.0])
+        assert x.grad is None
+
+    def test_grad_unused_input_raises(self):
+        x = Tensor([1.0], requires_grad=True)
+        z = Tensor([1.0], requires_grad=True)
+        y = (x * 2.0).sum()
+        with pytest.raises(ValueError, match="not part of the graph"):
+            grad(y, [z])
+
+    def test_grad_allow_unused_returns_zeros(self):
+        x = Tensor([1.0], requires_grad=True)
+        z = Tensor([1.0, 2.0], requires_grad=True)
+        y = (x * 2.0).sum()
+        gx, gz = grad(y, [x, z], allow_unused=True)
+        assert np.allclose(gz.data, [0.0, 0.0])
+
+    def test_grad_multiple_inputs(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = Tensor([2.0], requires_grad=True)
+        y = (a * b).sum()
+        ga, gb = grad(y, [a, b])
+        assert np.allclose(ga.data, [2.0])
+        assert np.allclose(gb.data, [1.0])
+
+
+class TestNoGrad:
+    def test_no_grad_disables_taping(self):
+        with no_grad():
+            x = Tensor([1.0], requires_grad=True)
+            y = x * 2.0
+        assert y.is_leaf
+
+    def test_no_grad_restores_state(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_nested(self):
+        with no_grad():
+            with no_grad():
+                pass
+            assert not is_grad_enabled()
+
+
+class TestDoubleBackward:
+    def test_grad_of_grad_cubic(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = (x**3.0).sum()
+        (g,) = grad(y, [x], create_graph=True)  # 3x^2
+        z = (g * g).sum()  # 9x^4
+        z.backward()  # 36x^3
+        assert np.allclose(x.grad, 36.0 * np.array([1.0, 8.0]))
+
+    def test_second_derivative_of_tanh(self):
+        x0 = 0.3
+        x = Tensor([x0], requires_grad=True)
+        y = ad.tanh(x).sum()
+        (g,) = grad(y, [x], create_graph=True)
+        (g2,) = grad(g.sum(), [x])
+        t = np.tanh(x0)
+        expected = -2.0 * t * (1.0 - t**2)
+        assert np.allclose(g2.data, [expected])
+
+    def test_grad_without_create_graph_is_constant(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = (x**2.0).sum()
+        (g,) = grad(y, [x], create_graph=False)
+        assert g.is_leaf
+
+    def test_mixed_partial(self):
+        # f = a^2 * b -> df/da = 2ab, d2f/dadb = 2a
+        a = Tensor([3.0], requires_grad=True)
+        b = Tensor([5.0], requires_grad=True)
+        f = (a * a * b).sum()
+        (ga,) = grad(f, [a], create_graph=True)
+        (gab,) = grad(ga.sum(), [b])
+        assert np.allclose(gab.data, [6.0])

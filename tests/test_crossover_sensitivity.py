@@ -1,0 +1,168 @@
+"""Tests for the recombination operators and the sensitivity-analysis
+module (OAT profiles + Morris screening)."""
+
+import numpy as np
+import pytest
+
+from repro.evo.crossover import (
+    blend_crossover,
+    sbx_crossover,
+    uniform_crossover,
+)
+from repro.evo.individual import Individual
+from repro.hpo.landscape import SurrogateDeepMDProblem
+from repro.hpo.representation import GENE_NAMES
+from repro.hpo.sensitivity import (
+    MorrisResult,
+    morris_screening,
+    one_at_a_time,
+)
+
+
+def _pair(a, b):
+    return [Individual(np.asarray(a, float)), Individual(np.asarray(b, float))]
+
+
+class TestUniformCrossover:
+    def test_children_genes_from_parents(self):
+        parents = _pair([0.0, 0.0, 0.0], [1.0, 1.0, 1.0])
+        children = list(uniform_crossover(p_swap=0.5, rng=0)(parents))
+        assert len(children) == 2
+        for c in children:
+            assert all(g in (0.0, 1.0) for g in c.genome)
+
+    def test_swap_is_symmetric(self):
+        parents = _pair([0.0, 0.0, 0.0, 0.0], [1.0, 1.0, 1.0, 1.0])
+        c1, c2 = list(uniform_crossover(p_swap=0.5, rng=1)(parents))
+        # gene-wise, the two children are complementary
+        assert np.allclose(c1.genome + c2.genome, 1.0)
+
+    def test_p_zero_is_identity(self):
+        parents = _pair([1.0, 2.0], [3.0, 4.0])
+        c1, c2 = list(uniform_crossover(p_swap=0.0, rng=0)(parents))
+        assert np.array_equal(c1.genome, [1.0, 2.0])
+        assert np.array_equal(c2.genome, [3.0, 4.0])
+
+    def test_p_one_is_full_swap(self):
+        parents = _pair([1.0, 2.0], [3.0, 4.0])
+        c1, c2 = list(uniform_crossover(p_swap=1.0, rng=0)(parents))
+        assert np.array_equal(c1.genome, [3.0, 4.0])
+        assert np.array_equal(c2.genome, [1.0, 2.0])
+
+    def test_resets_fitness(self):
+        parents = _pair([1.0], [2.0])
+        for p in parents:
+            p.fitness = np.array([1.0])
+        for c in uniform_crossover(rng=0)(parents):
+            assert c.fitness is None
+
+    def test_odd_stream_drops_last(self):
+        singles = [Individual([1.0])]
+        assert list(uniform_crossover(rng=0)(singles)) == []
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            uniform_crossover(p_swap=1.5)
+
+
+class TestBlendCrossover:
+    def test_children_within_expanded_interval(self):
+        parents = _pair([0.0, 10.0], [1.0, 20.0])
+        children = list(blend_crossover(alpha=0.5, rng=0)(parents))
+        for c in children:
+            assert -0.5 <= c.genome[0] <= 1.5
+            assert 5.0 <= c.genome[1] <= 25.0
+
+    def test_alpha_zero_stays_inside_parent_box(self):
+        parents = _pair([0.0, 0.0], [1.0, 1.0])
+        for c in blend_crossover(alpha=0.0, rng=1)(parents):
+            assert np.all(c.genome >= 0.0) and np.all(c.genome <= 1.0)
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            blend_crossover(alpha=-0.1)
+
+
+class TestSBX:
+    def test_mean_preserved_per_pair(self):
+        parents = _pair([0.0, 4.0, -2.0], [2.0, 8.0, 6.0])
+        mean_before = 0.5 * (parents[0].genome + parents[1].genome)
+        c1, c2 = list(sbx_crossover(eta=10.0, rng=0)(parents))
+        mean_after = 0.5 * (c1.genome + c2.genome)
+        assert np.allclose(mean_before, mean_after)
+
+    def test_large_eta_children_near_parents(self):
+        rng = np.random.default_rng(0)
+        spread = []
+        for trial in range(50):
+            parents = _pair([0.0], [1.0])
+            c1, c2 = list(sbx_crossover(eta=200.0, rng=rng)(parents))
+            spread.append(abs(c1.genome[0] - 0.0) + abs(c2.genome[0] - 1.0))
+        # near-parent children most of the time
+        assert np.median(spread) < 0.2
+
+    def test_invalid_eta(self):
+        with pytest.raises(ValueError):
+            sbx_crossover(eta=0.0)
+
+
+class TestOneAtATime:
+    @pytest.fixture(scope="class")
+    def profiles(self):
+        return one_at_a_time(
+            SurrogateDeepMDProblem(seed=0, simulate_runtime=False),
+            n_points=9,
+        )
+
+    def test_one_profile_per_gene(self, profiles):
+        assert [p.gene for p in profiles] == list(GENE_NAMES)
+
+    def test_profiles_cover_ranges(self, profiles):
+        from repro.hpo.representation import DeepMDRepresentation
+
+        for g, p in enumerate(profiles):
+            lo, hi = DeepMDRepresentation.init_ranges[g]
+            assert p.values[0] == lo and p.values[-1] == hi
+
+    def test_rcut_profile_monotone_force(self, profiles):
+        rcut = next(p for p in profiles if p.gene == "rcut")
+        ok = np.isfinite(rcut.force) & (rcut.force < 1e9)
+        forces = rcut.force[ok]
+        assert forces[0] > forces[-1]  # more cutoff, less error
+
+    def test_sensitive_genes_have_larger_range(self, profiles):
+        by_gene = {p.gene: p.force_range() for p in profiles}
+        # the learning rate and cutoff dominate; smoothing radius is mild
+        assert by_gene["start_lr"] > by_gene["rcut_smth"]
+        assert by_gene["rcut"] > by_gene["rcut_smth"]
+
+
+class TestMorris:
+    @pytest.fixture(scope="class")
+    def result(self) -> MorrisResult:
+        return morris_screening(
+            SurrogateDeepMDProblem(seed=0, simulate_runtime=False),
+            n_trajectories=25,
+            rng=0,
+        )
+
+    def test_shapes(self, result):
+        assert len(result.mu_star_force) == len(GENE_NAMES)
+        assert result.trajectories == 25
+
+    def test_all_genes_measured(self, result):
+        # every gene collected at least some effects
+        assert np.isfinite(result.mu_star_force).all()
+
+    def test_ranking_identifies_learning_rate_and_cutoff(self, result):
+        """The sensitivity screen justifies the paper's gene choice:
+        the top influencers include the start learning rate and rcut."""
+        top4 = set(result.ranking_by_force()[:4])
+        assert "start_lr" in top4
+        assert "rcut" in top4
+
+    def test_interaction_signal_present(self, result):
+        """scale_by_worker acts only through start_lr — a pure
+        interaction — so its sigma should be comparable to its mu*."""
+        idx = GENE_NAMES.index("scale_by_worker")
+        assert result.sigma_force[idx] > 0.0

@@ -1,0 +1,276 @@
+"""Tests for the Dask-like executor: futures, scheduler, workers,
+nannies, client, and fault handling."""
+
+import threading
+import time
+
+import pytest
+
+from repro.distributed import (
+    Client,
+    Future,
+    LocalCluster,
+    Nanny,
+    NoFaults,
+    RandomFaults,
+    Scheduler,
+    TaskState,
+    Worker,
+)
+from repro.distributed.faults import ScriptedFaults
+from repro.exceptions import SchedulerError, WorkerFailure
+
+
+class TestFuture:
+    def test_result_after_set(self):
+        f = Future("k")
+        f.set_result(42)
+        assert f.result() == 42
+        assert f.state is TaskState.FINISHED
+
+    def test_result_blocks_until_set(self):
+        f = Future("k")
+        threading.Timer(0.05, lambda: f.set_result("done")).start()
+        assert f.result(timeout=2.0) == "done"
+
+    def test_timeout(self):
+        f = Future("k")
+        with pytest.raises(TimeoutError):
+            f.result(timeout=0.01)
+
+    def test_exception_reraised(self):
+        f = Future("k")
+        f.set_exception(ValueError("nope"))
+        with pytest.raises(ValueError, match="nope"):
+            f.result()
+
+    def test_single_assignment(self):
+        f = Future("k")
+        f.set_result(1)
+        f.set_result(2)
+        assert f.result() == 1
+
+    def test_cancel(self):
+        f = Future("k")
+        f.cancel()
+        with pytest.raises(RuntimeError, match="cancelled"):
+            f.result()
+
+    def test_set_pending_resets_running(self):
+        f = Future("k")
+        f.set_running()
+        assert f.state is TaskState.RUNNING
+        f.set_pending()
+        assert f.state is TaskState.PENDING
+
+    def test_exception_accessor(self):
+        f = Future("k")
+        exc = ValueError("x")
+        f.set_exception(exc)
+        assert f.exception() is exc
+
+
+class TestSchedulerAndWorkers:
+    def test_single_worker_executes(self):
+        sched = Scheduler()
+        worker = Worker(sched, "w0")
+        worker.start()
+        try:
+            fut = sched.submit(lambda: 7)
+            assert fut.result(timeout=5) == 7
+        finally:
+            sched.close()
+            worker.stop()
+
+    def test_application_errors_propagate_without_retry(self):
+        sched = Scheduler(max_retries=5)
+        worker = Worker(sched, "w0")
+        worker.start()
+        try:
+
+            def bad():
+                raise ValueError("app bug")
+
+            fut = sched.submit(bad)
+            with pytest.raises(ValueError, match="app bug"):
+                fut.result(timeout=5)
+            assert sched.stats()["failed"] == 1
+            assert sched.stats()["reassignments"] == 0
+        finally:
+            sched.close()
+            worker.stop()
+
+    def test_closed_scheduler_rejects(self):
+        sched = Scheduler()
+        sched.close()
+        with pytest.raises(SchedulerError):
+            sched.submit(lambda: 1)
+
+    def test_worker_double_start_rejected(self):
+        sched = Scheduler()
+        worker = Worker(sched, "w0")
+        worker.start()
+        try:
+            with pytest.raises(RuntimeError):
+                worker.start()
+        finally:
+            sched.close()
+            worker.stop()
+
+    def test_task_reassigned_on_worker_death(self):
+        sched = Scheduler(max_retries=2)
+        # w0 dies on its first task; w1 picks it up
+        faulty = Worker(sched, "w0", ScriptedFaults({("w0", 0)}))
+        healthy = Worker(sched, "w1")
+        faulty.start()
+        # delay healthy start so the faulty one grabs the task first
+        fut = sched.submit(lambda: "ok")
+        time.sleep(0.15)
+        healthy.start()
+        try:
+            assert fut.result(timeout=5) == "ok"
+            assert sched.stats()["reassignments"] >= 1
+        finally:
+            sched.close()
+            healthy.stop()
+
+    def test_retries_exhausted_raises_worker_failure(self):
+        sched = Scheduler(max_retries=1)
+        # both workers die on every task
+        policy = RandomFaults(rate=1.0)
+        w0 = Worker(sched, "w0", policy)
+        w1 = Worker(sched, "w1", policy)
+        w0.start()
+        w1.start()
+        try:
+            fut = sched.submit(lambda: 1)
+            with pytest.raises(WorkerFailure):
+                fut.result(timeout=5)
+        finally:
+            sched.close()
+
+    def test_stats_counts(self):
+        with LocalCluster(n_workers=2) as cluster:
+            client = cluster.client()
+            futs = client.map(lambda x: x, range(5))
+            client.gather(futs)
+            stats = cluster.scheduler.stats()
+        assert stats["submitted"] == 5
+        assert stats["completed"] == 5
+
+
+class TestClientAndCluster:
+    def test_map_gather_order_preserved(self):
+        with LocalCluster(n_workers=4) as cluster:
+            client = cluster.client()
+            futs = client.map(lambda x: x * 2, range(20))
+            assert client.gather(futs) == [x * 2 for x in range(20)]
+
+    def test_submit_kwargs(self):
+        with LocalCluster(n_workers=1) as cluster:
+            client = cluster.client()
+            fut = client.submit(lambda a, b=0: a + b, 1, b=2)
+            assert fut.result(timeout=5) == 3
+
+    def test_parallelism_actually_overlaps(self):
+        with LocalCluster(n_workers=4) as cluster:
+            client = cluster.client()
+            t0 = time.monotonic()
+            futs = client.map(lambda _: time.sleep(0.1), range(4))
+            client.gather(futs)
+            elapsed = time.monotonic() - t0
+        assert elapsed < 0.35  # 4 x 0.1s tasks on 4 workers
+
+    def test_needs_at_least_one_worker(self):
+        with pytest.raises(ValueError):
+            LocalCluster(n_workers=0)
+
+    def test_faults_do_not_lose_tasks(self):
+        policy = RandomFaults(rate=0.25, max_failures=3, rng=0)
+        with LocalCluster(
+            n_workers=4, fault_policy=policy, max_retries=4
+        ) as cluster:
+            client = cluster.client()
+            futs = client.map(lambda x: x + 1, range(40))
+            results = client.gather(futs, timeout=20)
+        assert results == [x + 1 for x in range(40)]
+
+    def test_worker_attrition_visible(self):
+        policy = RandomFaults(rate=1.0, max_failures=2, rng=0)
+        with LocalCluster(n_workers=3, fault_policy=policy, max_retries=5) as cluster:
+            client = cluster.client()
+            client.gather(client.map(lambda x: x, range(10)), timeout=20)
+            assert cluster.n_alive == 1
+
+
+class TestNanny:
+    def test_nanny_restarts_dead_worker(self):
+        sched = Scheduler(max_retries=10)
+        policy = RandomFaults(rate=1.0, max_failures=2, rng=0)
+        nanny = Nanny(sched, "w0", policy, max_restarts=10)
+        nanny.start()
+        try:
+            client = Client(sched)
+            futs = client.map(lambda x: x, range(5))
+            assert client.gather(futs, timeout=20) == list(range(5))
+            assert nanny.restarts >= 1
+        finally:
+            sched.close()
+            nanny.stop()
+
+    def test_nanny_gives_up_after_max_restarts(self):
+        sched = Scheduler()
+        policy = RandomFaults(rate=1.0)  # dies on every task
+        nanny = Nanny(sched, "w0", policy, max_restarts=2, poll_interval=0.01)
+        nanny.start()
+        try:
+            client = Client(sched)
+            fut = client.submit(lambda: 1)
+            with pytest.raises(WorkerFailure):
+                fut.result(timeout=10)
+            deadline = time.monotonic() + 5
+            while nanny.restarts < 2 and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert nanny.restarts == 2
+        finally:
+            sched.close()
+            nanny.stop()
+
+    def test_cluster_with_nannies(self):
+        policy = RandomFaults(rate=0.3, max_failures=4, rng=1)
+        with LocalCluster(
+            n_workers=2, use_nannies=True, fault_policy=policy, max_retries=8
+        ) as cluster:
+            client = cluster.client()
+            out = client.gather(
+                client.map(lambda x: x * x, range(30)), timeout=30
+            )
+        assert out == [x * x for x in range(30)]
+
+
+class TestFaultPolicies:
+    def test_no_faults(self):
+        assert not NoFaults().should_fail("w", 0)
+
+    def test_random_faults_rate_zero(self):
+        policy = RandomFaults(rate=0.0)
+        assert not any(policy.should_fail("w", i) for i in range(100))
+
+    def test_random_faults_rate_one(self):
+        policy = RandomFaults(rate=1.0)
+        assert policy.should_fail("w", 0)
+
+    def test_max_failures_cap(self):
+        policy = RandomFaults(rate=1.0, max_failures=2)
+        fails = sum(policy.should_fail("w", i) for i in range(10))
+        assert fails == 2
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            RandomFaults(rate=1.5)
+
+    def test_scripted(self):
+        policy = ScriptedFaults({("w0", 1)})
+        assert not policy.should_fail("w0", 0)
+        assert policy.should_fail("w0", 1)
+        assert not policy.should_fail("w1", 1)

@@ -1,0 +1,245 @@
+"""Tests for multiobjective utilities: dominance, Pareto archives,
+quality indicators, and the ZDT suite."""
+
+import numpy as np
+import pytest
+
+from repro.evo.individual import Individual, MAXINT
+from repro.evo.problem import ConstantProblem
+from repro.mo.dominance import (
+    dominates,
+    non_dominated_mask,
+    pareto_front_indices,
+)
+from repro.mo.metrics import (
+    generational_distance,
+    hypervolume_2d,
+    inverted_generational_distance,
+    spread_2d,
+)
+from repro.mo.pareto import ParetoArchive, pareto_front
+from repro.mo.testsuite import ZDT1, ZDT2, ZDT3, ZDT4, ZDT6
+
+
+def _ind(fitness) -> Individual:
+    ind = Individual([0.0], problem=ConstantProblem(fitness))
+    return ind.evaluate()
+
+
+class TestNonDominatedMask:
+    def test_staircase_all_kept(self):
+        F = np.array([[0.0, 2.0], [1.0, 1.0], [2.0, 0.0]])
+        assert non_dominated_mask(F).all()
+
+    def test_dominated_point_dropped(self):
+        F = np.array([[0.0, 0.0], [1.0, 1.0]])
+        assert non_dominated_mask(F).tolist() == [True, False]
+
+    def test_duplicates_of_front_point_kept(self):
+        F = np.array([[1.0, 1.0], [1.0, 1.0], [2.0, 2.0]])
+        assert non_dominated_mask(F).tolist() == [True, True, False]
+
+    def test_empty(self):
+        assert len(non_dominated_mask(np.zeros((0, 2)))) == 0
+
+    def test_front_indices_sorted_by_first_objective(self):
+        F = np.array([[2.0, 0.0], [0.0, 2.0], [1.0, 1.0], [3.0, 3.0]])
+        idx = pareto_front_indices(F)
+        assert F[idx][:, 0].tolist() == [0.0, 1.0, 2.0]
+
+    def test_dominates_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            dominates(np.array([1.0]), np.array([1.0, 2.0]))
+
+
+class TestParetoFront:
+    def test_excludes_failures(self):
+        good = _ind([1.0, 1.0])
+        failed = _ind([MAXINT, MAXINT])
+        front = pareto_front([good, failed])
+        assert front == [good]
+
+    def test_include_failures_when_asked(self):
+        failed = _ind([MAXINT, MAXINT])
+        front = pareto_front([failed], require_viable=False)
+        assert front == [failed]
+
+    def test_sorted_by_first_objective(self):
+        inds = [_ind([2.0, 0.0]), _ind([0.0, 2.0]), _ind([1.0, 1.0])]
+        front = pareto_front(inds)
+        assert [f.fitness[0] for f in front] == [0.0, 1.0, 2.0]
+
+    def test_empty_population(self):
+        assert pareto_front([]) == []
+
+
+class TestParetoArchive:
+    def test_add_non_dominated(self):
+        archive = ParetoArchive()
+        assert archive.add(_ind([1.0, 2.0]))
+        assert archive.add(_ind([2.0, 1.0]))
+        assert len(archive) == 2
+
+    def test_dominated_rejected(self):
+        archive = ParetoArchive()
+        archive.add(_ind([1.0, 1.0]))
+        assert not archive.add(_ind([2.0, 2.0]))
+        assert len(archive) == 1
+
+    def test_dominating_evicts(self):
+        archive = ParetoArchive()
+        archive.add(_ind([2.0, 2.0]))
+        assert archive.add(_ind([1.0, 1.0]))
+        assert len(archive) == 1
+        assert np.allclose(archive.members[0].fitness, [1.0, 1.0])
+
+    def test_duplicate_rejected(self):
+        archive = ParetoArchive()
+        archive.add(_ind([1.0, 1.0]))
+        assert not archive.add(_ind([1.0, 1.0]))
+
+    def test_failed_individual_rejected(self):
+        archive = ParetoArchive()
+        assert not archive.add(_ind([MAXINT, MAXINT]))
+
+    def test_unevaluated_raises(self):
+        archive = ParetoArchive()
+        with pytest.raises(ValueError):
+            archive.add(Individual([0.0]))
+
+    def test_capacity_eviction_keeps_extremes(self):
+        archive = ParetoArchive(capacity=3)
+        points = [[0.0, 1.0], [0.45, 0.55], [0.5, 0.5], [1.0, 0.0]]
+        for p in points:
+            archive.add(_ind(p))
+        assert len(archive) == 3
+        F = archive.fitness_matrix()
+        assert [0.0, 1.0] in F.tolist()
+        assert [1.0, 0.0] in F.tolist()
+
+    def test_add_all_counts(self):
+        archive = ParetoArchive()
+        n = archive.add_all(
+            [_ind([1.0, 2.0]), _ind([2.0, 1.0]), _ind([3.0, 3.0])]
+        )
+        assert n == 2
+
+
+class TestHypervolume:
+    def test_single_point(self):
+        hv = hypervolume_2d(np.array([[0.5, 0.5]]), reference=(1.0, 1.0))
+        assert np.isclose(hv, 0.25)
+
+    def test_staircase(self):
+        F = np.array([[0.0, 0.5], [0.5, 0.0]])
+        hv = hypervolume_2d(F, reference=(1.0, 1.0))
+        assert np.isclose(hv, 0.75)
+
+    def test_dominated_points_dont_add(self):
+        F1 = np.array([[0.5, 0.5]])
+        F2 = np.array([[0.5, 0.5], [0.7, 0.7]])
+        assert np.isclose(
+            hypervolume_2d(F1, (1, 1)), hypervolume_2d(F2, (1, 1))
+        )
+
+    def test_points_beyond_reference_ignored(self):
+        F = np.array([[2.0, 2.0]])
+        assert hypervolume_2d(F, (1.0, 1.0)) == 0.0
+
+    def test_empty_front(self):
+        assert hypervolume_2d(np.zeros((0, 2)), (1.0, 1.0)) == 0.0
+
+    def test_monotone_in_points(self):
+        F1 = np.array([[0.5, 0.5]])
+        F2 = np.array([[0.5, 0.5], [0.2, 0.8]])
+        assert hypervolume_2d(F2, (1, 1)) > hypervolume_2d(F1, (1, 1))
+
+    def test_requires_two_objectives(self):
+        with pytest.raises(ValueError):
+            hypervolume_2d(np.ones((2, 3)), (1, 1))
+
+
+class TestDistances:
+    def test_gd_zero_when_on_front(self):
+        ref = np.array([[0.0, 1.0], [1.0, 0.0]])
+        assert generational_distance(ref, ref) == 0.0
+
+    def test_gd_positive_off_front(self):
+        ref = np.array([[0.0, 0.0]])
+        front = np.array([[3.0, 4.0]])
+        assert np.isclose(generational_distance(front, ref), 5.0)
+
+    def test_igd_penalizes_poor_coverage(self):
+        ref = np.array([[0.0, 1.0], [0.5, 0.5], [1.0, 0.0]])
+        full = ref
+        partial = np.array([[0.0, 1.0]])
+        assert inverted_generational_distance(
+            partial, ref
+        ) > inverted_generational_distance(full, ref)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            generational_distance(np.zeros((0, 2)), np.ones((1, 2)))
+
+    def test_spread_uniform_is_zero(self):
+        F = np.column_stack(
+            [np.linspace(0, 1, 11), np.linspace(1, 0, 11)]
+        )
+        assert spread_2d(F) < 1e-12
+
+    def test_spread_clustered_is_positive(self):
+        F = np.array(
+            [[0.0, 1.0], [0.01, 0.99], [0.02, 0.98], [1.0, 0.0]]
+        )
+        assert spread_2d(F) > 0.3
+
+    def test_spread_needs_three_points(self):
+        assert np.isnan(spread_2d(np.array([[0.0, 1.0], [1.0, 0.0]])))
+
+
+class TestZDT:
+    @pytest.mark.parametrize("cls", [ZDT1, ZDT2, ZDT3, ZDT4, ZDT6])
+    def test_two_objectives(self, cls):
+        prob = cls()
+        x = np.full(prob.n_variables, 0.5)
+        f = prob.evaluate(x)
+        assert f.shape == (2,)
+
+    @pytest.mark.parametrize("cls", [ZDT1, ZDT2])
+    def test_optimal_solutions_on_true_front(self, cls):
+        prob = cls(n_variables=5)
+        # optimum: x[1:] = 0
+        for f1 in (0.0, 0.3, 1.0):
+            x = np.zeros(5)
+            x[0] = f1
+            f = prob.evaluate(x)
+            front = prob.true_front(1001)
+            d = np.min(np.linalg.norm(front - f, axis=1))
+            assert d < 5e-3
+
+    def test_zdt4_bounds_shape(self):
+        prob = ZDT4(n_variables=6)
+        b = prob.bounds
+        assert b.shape == (6, 2)
+        assert b[0].tolist() == [0.0, 1.0]
+        assert b[1].tolist() == [-5.0, 5.0]
+
+    def test_zdt3_front_nondominated(self):
+        from repro.mo.dominance import non_dominated_mask
+
+        front = ZDT3().true_front()
+        assert non_dominated_mask(front).all()
+
+    def test_zdt6_nonuniform_mapping(self):
+        prob = ZDT6(n_variables=4)
+        x = np.zeros(4)
+        f = prob.evaluate(x)
+        assert np.isfinite(f).all()
+
+    def test_min_variables_enforced(self):
+        with pytest.raises(ValueError):
+            ZDT1(n_variables=1)
+
+    def test_g_is_one_at_optimum(self):
+        prob = ZDT1(n_variables=4)
+        assert np.isclose(prob._g(np.zeros(4)), 1.0)

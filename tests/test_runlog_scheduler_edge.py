@@ -1,0 +1,107 @@
+"""Tests for the campaign run journal and the scheduler's worker-grace
+edge cases (stranded-task handling)."""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.distributed import Client, Scheduler, Worker
+from repro.exceptions import WorkerFailure
+from repro.hpo.campaign import Campaign, CampaignConfig
+from repro.hpo.landscape import SurrogateDeepMDProblem
+from repro.io import RunLogger, read_runlog, summarize_runlog
+
+
+class TestRunLogger:
+    @pytest.fixture()
+    def journal(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        logger = RunLogger(path)
+        Campaign(
+            lambda seed: SurrogateDeepMDProblem(seed=seed),
+            CampaignConfig(
+                n_runs=2, pop_size=10, generations=2, base_seed=3
+            ),
+        ).run(callback=logger)
+        return path, logger
+
+    def test_one_event_per_generation(self, journal):
+        path, logger = journal
+        events = read_runlog(path)
+        assert len(events) == 2 * 3  # 2 runs x (1 + 2) generations
+        assert logger.events_written == 6
+
+    def test_events_carry_progress_fields(self, journal):
+        path, _ = journal
+        events = read_runlog(path)
+        for e in events:
+            assert {"run", "generation", "evaluated", "failures"} <= set(e)
+            assert e["evaluated"] == 10
+
+    def test_std_annealed_in_journal(self, journal):
+        path, _ = journal
+        events = read_runlog(path)
+        run0 = [e for e in events if e["run"] == 0]
+        stds = [e["mutation_std_first_gene"] for e in run0]
+        assert stds[1] == pytest.approx(stds[0] * 0.85)
+
+    def test_summary(self, journal):
+        path, _ = journal
+        digest = summarize_runlog(read_runlog(path))
+        assert digest["runs"] == 2
+        assert digest["evaluations"] == 60
+        assert np.isfinite(digest["best_force"])
+
+    def test_truncated_tail_tolerated(self, journal):
+        path, _ = journal
+        raw = path.read_text()
+        path.write_text(raw + '{"run": 1, "generation"')  # torn write
+        events = read_runlog(path)
+        assert len(events) == 6  # the torn line is dropped
+
+    def test_empty_summary(self):
+        assert summarize_runlog([])["evaluations"] == 0
+
+
+class TestSchedulerGraceEdgeCases:
+    def test_submit_with_no_workers_fails_after_grace(self):
+        sched = Scheduler(worker_grace_seconds=0.1)
+        fut = sched.submit(lambda: 1)
+        with pytest.raises(WorkerFailure, match="stranded"):
+            fut.result(timeout=5)
+
+    def test_worker_arriving_within_grace_rescues_task(self):
+        sched = Scheduler(worker_grace_seconds=1.0)
+        fut = sched.submit(lambda: "rescued")
+        worker = Worker(sched, "late")
+        worker.start()
+        try:
+            assert fut.result(timeout=5) == "rescued"
+        finally:
+            sched.close()
+            worker.stop()
+
+    def test_tasks_submitted_after_all_workers_die(self):
+        sched = Scheduler(worker_grace_seconds=0.1)
+        worker = Worker(sched, "w0")
+        worker.start()
+        Client(sched).submit(lambda: 1).result(timeout=5)
+        worker.stop()  # graceful shutdown; worker unregisters
+        # wait until the scheduler has no workers
+        deadline = time.monotonic() + 2
+        while sched.n_workers and time.monotonic() < deadline:
+            time.sleep(0.01)
+        fut = sched.submit(lambda: 2)
+        with pytest.raises(WorkerFailure):
+            fut.result(timeout=5)
+
+    def test_closed_scheduler_does_not_strand(self):
+        sched = Scheduler(worker_grace_seconds=0.05)
+        worker = Worker(sched, "w0")
+        worker.start()
+        sched.close()
+        worker.stop()
+        # closing is a clean shutdown: no strand-timer explosions
+        assert sched.n_workers == 0

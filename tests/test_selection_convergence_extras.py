@@ -1,0 +1,146 @@
+"""Tests for the crowded tournament selection, hypervolume progress,
+and the enriched CLI paths (--plot/--save/--export-csv, sensitivity,
+nas)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.convergence import hypervolume_progress
+from repro.evo.individual import Individual
+from repro.evo.nsga2 import (
+    crowded_tournament_selection,
+    crowding_distance_calc,
+    rank_ordinal_sort_op,
+)
+from repro.evo.problem import ConstantProblem
+from repro.hpo.campaign import Campaign, CampaignConfig
+from repro.hpo.cli import main as hpo_main
+from repro.hpo.landscape import SurrogateDeepMDProblem
+
+
+def _ranked_population(fitnesses):
+    pop = []
+    for f in fitnesses:
+        ind = Individual([0.0], problem=ConstantProblem(f))
+        pop.append(ind.evaluate())
+    ranked = rank_ordinal_sort_op()(pop)
+    return crowding_distance_calc(ranked)
+
+
+class TestCrowdedTournament:
+    def test_prefers_lower_rank(self):
+        pop = _ranked_population(
+            [[0.0, 0.0]] + [[1.0, 1.0]] * 9
+        )
+        stream = crowded_tournament_selection(pop, rng=0)
+        picks = [next(stream) for _ in range(300)]
+        best_share = sum(1 for p in picks if p.rank == 1) / len(picks)
+        # binary tournament with 1/10 elite: win prob = 1 - (9/10)^2 = 0.19
+        assert best_share > 0.12
+
+    def test_ties_break_to_crowding(self):
+        # one front: extremes have infinite distance
+        pop = _ranked_population(
+            [[0.0, 1.0], [0.45, 0.55], [0.5, 0.5], [0.55, 0.45], [1.0, 0.0]]
+        )
+        stream = crowded_tournament_selection(pop, rng=1)
+        picks = [next(stream) for _ in range(500)]
+        extreme_share = sum(
+            1 for p in picks if np.isinf(p.distance)
+        ) / len(picks)
+        # 2 of 5 are extremes; tournaments boost them well above 40%
+        assert extreme_share > 0.5
+
+    def test_requires_ranks(self):
+        ind = Individual([0.0], problem=ConstantProblem([1.0, 1.0]))
+        ind.evaluate()
+        with pytest.raises(ValueError, match="rank"):
+            next(crowded_tournament_selection([ind], rng=0))
+
+    def test_empty_population(self):
+        with pytest.raises(ValueError):
+            next(crowded_tournament_selection([], rng=0))
+
+    def test_composes_with_pipeline(self):
+        from repro.evo import ops
+
+        pop = _ranked_population(
+            [[float(i), float(10 - i)] for i in range(10)]
+        )
+        offspring = ops.pipe(
+            pop,
+            lambda p: crowded_tournament_selection(p, rng=2),
+            ops.clone,
+            ops.pool(6),
+        )
+        assert len(offspring) == 6
+        assert all(o.fitness is None for o in offspring)
+
+
+class TestHypervolumeProgress:
+    @pytest.fixture(scope="class")
+    def campaign(self):
+        return Campaign(
+            lambda seed: SurrogateDeepMDProblem(seed=seed),
+            CampaignConfig(
+                n_runs=3, pop_size=30, generations=4, base_seed=11
+            ),
+        ).run()
+
+    def test_one_value_per_generation(self, campaign):
+        hv = hypervolume_progress(campaign)
+        assert len(hv) == 5
+
+    def test_improves_from_start_to_end(self, campaign):
+        hv = hypervolume_progress(campaign)
+        assert hv[-1] > hv[0]
+
+    def test_elitism_makes_progress_monotone(self, campaign):
+        hv = hypervolume_progress(campaign)
+        # selected populations are mu+lambda elitist: pooled HV should
+        # never drop materially
+        assert np.all(np.diff(hv) > -1e-4)
+
+
+class TestCliExtras:
+    def test_campaign_plot_save_export(self, tmp_path, capsys):
+        rc = hpo_main(
+            [
+                "campaign",
+                "--runs", "2",
+                "--pop-size", "12",
+                "--generations", "1",
+                "--seed", "5",
+                "--plot",
+                "--save", str(tmp_path / "camp"),
+                "--export-csv", str(tmp_path / "csv"),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "frontier (O)" in out
+        assert (tmp_path / "camp" / "campaign.json").exists()
+        assert (tmp_path / "csv" / "fig2_frontier.csv").exists()
+        # the saved campaign loads back
+        from repro.io import load_campaign
+
+        loaded = load_campaign(tmp_path / "camp")
+        assert loaded.n_trainings == 2 * 2 * 12
+
+    def test_sensitivity_subcommand(self, capsys):
+        rc = hpo_main(
+            ["sensitivity", "--points", "5", "--trajectories", "5"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Morris ranking" in out
+        assert "start_lr" in out
+
+    def test_nas_subcommand(self, capsys):
+        rc = hpo_main(
+            ["nas", "--pop-size", "20", "--generations", "2"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "best architectures" in out
+        assert "embedding" in out
