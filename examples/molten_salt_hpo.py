@@ -14,14 +14,19 @@ Takes a couple of minutes; shrink POP_SIZE / GENERATIONS for a faster
 look.
 
 Run:  python examples/molten_salt_hpo.py
+
+Set REPRO_TRACE=/path/to/trace.jsonl to capture a task-level trace of
+the whole run, then render it with ``repro-hpo trace <path>``.
 """
 
+import os
 import time
 
 import numpy as np
 
 from repro.analysis import format_table, frontier_table
 from repro.distributed import LocalCluster
+from repro.obs import Tracer, set_tracer
 from repro.hpo import (
     DeepMDProblem,
     EvaluatorSettings,
@@ -36,6 +41,10 @@ MD_FRAMES = 32
 
 
 def main() -> None:
+    trace_path = os.environ.get("REPRO_TRACE")
+    if trace_path:
+        set_tracer(Tracer(trace_path))
+        print(f"tracing to {trace_path}")
     print(f"generating {MD_FRAMES} MD frames of molten AlCl3-KCl ...")
     dataset = generate_dataset(
         n_frames=MD_FRAMES,
@@ -105,6 +114,8 @@ def main() -> None:
     for k, v in best.metadata["phenome"].items():
         print(f"  {k:>20s} = {v}")
     print(f"  training dir: {best.metadata['workdir']}")
+    if trace_path:
+        print(f"\ntrace captured: repro-hpo trace {trace_path}")
 
 
 if __name__ == "__main__":

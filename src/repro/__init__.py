@@ -38,6 +38,10 @@ scratch on top of NumPy:
     surrogate landscape used for full-scale campaign benchmarks.
 ``repro.analysis``
     Regeneration of every table and figure in the paper's evaluation.
+``repro.obs``
+    Zero-dependency tracing (spans, events, JSONL trace files) and
+    metrics (counters, gauges, histograms, Prometheus export) wired
+    through the scheduler, workers, trainer, EA loop, and campaign.
 """
 
 from repro._version import __version__

@@ -28,6 +28,7 @@ from repro.md.dataset import FrameDataset
 from repro.nn.loss import EnergyForceLoss, PrefactorSchedule
 from repro.nn.lr_schedule import ExponentialDecay
 from repro.nn.optimizer import Adam
+from repro.obs.trace import NullTracer, Tracer, get_tracer
 from repro.rng import RngLike, ensure_rng
 
 
@@ -82,21 +83,26 @@ class Trainer:
         dataset: FrameDataset,
         config: TrainingConfig,
         rng: RngLike = None,
+        tracer: Optional[NullTracer | Tracer] = None,
     ) -> None:
         self.model = model
         self.dataset = dataset
         self.config = config
+        self.tracer = tracer if tracer is not None else get_tracer()
         self.rng = ensure_rng(
             config.seed if rng is None and config.seed is not None else rng
         )
         rcut = model.config.descriptor.rcut
-        self.train_batches = prepare_batches(
-            dataset.train, rcut, batch_size=config.batch_size
-        )
-        val_frames = dataset.validation or dataset.train
-        self.val_batches = prepare_batches(
-            val_frames, rcut, batch_size=max(config.batch_size, 4)
-        )
+        with self.tracer.span(
+            "train.data_load", n_train=len(dataset.train)
+        ):
+            self.train_batches = prepare_batches(
+                dataset.train, rcut, batch_size=config.batch_size
+            )
+            val_frames = dataset.validation or dataset.train
+            self.val_batches = prepare_batches(
+                val_frames, rcut, batch_size=max(config.batch_size, 4)
+            )
         # fit the constant per-atom energy bias from the training split
         stats = dataset.energy_statistics()
         model.energy_bias_per_atom = stats["per_atom_mean"]
@@ -137,7 +143,10 @@ class Trainer:
 
     def evaluate_validation(self) -> tuple[float, float]:
         """``(rmse_e_val, rmse_f_val)`` on the validation split."""
-        return self._evaluate(self.val_batches)
+        with self.tracer.span(
+            "train.validation", n_batches=len(self.val_batches)
+        ):
+            return self._evaluate(self.val_batches)
 
     # ------------------------------------------------------------------
     # checkpointing: Summit jobs are preemptible and capped, so a
@@ -190,6 +199,10 @@ class Trainer:
     ) -> TrainingResult:
         """Run the configured number of steps and return final losses.
 
+        The whole loop runs inside a ``train.loop`` span (timeout /
+        divergence exits mark the span ``err``), with the per-call
+        ``train.validation`` spans nested under it.
+
         Parameters
         ----------
         resume_from:
@@ -211,6 +224,25 @@ class Trainer:
         TrainingDivergedError
             When the training loss becomes non-finite or explodes.
         """
+        with self.tracer.span(
+            "train.loop", steps=self.config.numb_steps
+        ) as span:
+            result = self._train_steps(
+                resume_from, checkpoint_path, checkpoint_freq, stop_after
+            )
+            span.tag(
+                steps_completed=result.steps_completed,
+                rmse_f_val=result.rmse_f_val,
+            )
+            return result
+
+    def _train_steps(
+        self,
+        resume_from=None,
+        checkpoint_path=None,
+        checkpoint_freq: Optional[int] = None,
+        stop_after: Optional[int] = None,
+    ) -> TrainingResult:
         cfg = self.config
         start_time = time.monotonic()
         first_step = 0

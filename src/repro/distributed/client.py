@@ -18,7 +18,12 @@ from repro.distributed.worker import Nanny, Worker
 
 
 class Client:
-    """Submit tasks to a scheduler and gather their results."""
+    """Submit tasks to a scheduler and gather their results.
+
+    ``map`` fan-outs and ``gather`` waits are traced (on the
+    scheduler's tracer) so a campaign trace shows how long the EA loop
+    blocked on each generation's evaluations.
+    """
 
     def __init__(self, scheduler: Scheduler) -> None:
         self.scheduler = scheduler
@@ -31,13 +36,19 @@ class Client:
     def map(
         self, fn: Callable[[Any], Any], items: Iterable[Any]
     ) -> list[Future]:
-        return [self.scheduler.submit(fn, item) for item in items]
+        with self.scheduler.tracer.span("client.map") as span:
+            futures = [self.scheduler.submit(fn, item) for item in items]
+            span.tag(n_tasks=len(futures))
+        return futures
 
     def gather(
         self, futures: Sequence[Future], timeout: Optional[float] = None
     ) -> list[Any]:
         """Block for all results; task exceptions re-raise here."""
-        return [f.result(timeout=timeout) for f in futures]
+        with self.scheduler.tracer.span(
+            "client.gather", n_futures=len(futures)
+        ):
+            return [f.result(timeout=timeout) for f in futures]
 
 
 class LocalCluster:
@@ -51,6 +62,9 @@ class LocalCluster:
         Restart dead workers; the paper's production setting is False.
     fault_policy:
         Shared fault-injection policy for all workers.
+    tracer / metrics:
+        Forwarded to the :class:`Scheduler`; the tracer defaults to
+        the process-wide one and the registry to a private instance.
     """
 
     def __init__(
@@ -59,10 +73,14 @@ class LocalCluster:
         use_nannies: bool = False,
         fault_policy: Optional[FaultPolicy] = None,
         max_retries: int = 2,
+        tracer: Any = None,
+        metrics: Any = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("need at least one worker")
-        self.scheduler = Scheduler(max_retries=max_retries)
+        self.scheduler = Scheduler(
+            max_retries=max_retries, tracer=tracer, metrics=metrics
+        )
         self.use_nannies = use_nannies
         self._members: list[Any] = []
         for i in range(n_workers):
@@ -77,6 +95,11 @@ class LocalCluster:
                 )
 
     def start(self) -> "LocalCluster":
+        self.scheduler.tracer.event(
+            "cluster.start",
+            n_workers=len(self._members),
+            nannies=self.use_nannies,
+        )
         for member in self._members:
             member.start()
         return self
@@ -85,6 +108,9 @@ class LocalCluster:
         return Client(self.scheduler)
 
     def shutdown(self) -> None:
+        self.scheduler.tracer.event(
+            "cluster.shutdown", n_alive=self.scheduler.n_workers
+        )
         self.scheduler.close()
         for member in self._members:
             member.stop()

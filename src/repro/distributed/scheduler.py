@@ -7,6 +7,14 @@
 * when retries are exhausted (or no workers remain) the task's future
   receives the :class:`~repro.exceptions.WorkerFailure`, which the
   robust individual converts to ``MAXINT`` fitness.
+
+Every task carries a timeline (submit → queued → running →
+done/err/retry/stranded timestamps on the :class:`TaskRecord`), the
+old ad-hoc ``tasks_*`` integers are backed by a
+:class:`~repro.obs.metrics.MetricsRegistry` (counters plus queue-wait
+and run-time histograms), and state transitions emit tracer events —
+with the default :class:`~repro.obs.trace.NullTracer` all of this is
+no-op cheap (see ``benchmarks/bench_obs_overhead.py``).
 """
 
 from __future__ import annotations
@@ -14,16 +22,25 @@ from __future__ import annotations
 import itertools
 import queue
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from repro.distributed.future import Future
 from repro.exceptions import SchedulerError, WorkerFailure
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NullTracer, Tracer, get_tracer
 
 
 @dataclass
 class TaskRecord:
-    """A unit of work plus its bookkeeping."""
+    """A unit of work plus its bookkeeping.
+
+    ``timeline`` accumulates ``(event, monotonic_time)`` pairs over the
+    task's life — ``submit``/``queued`` at submission, ``running`` each
+    time a worker picks it up, then ``done``, ``err``, ``retry``,
+    ``abandoned``, or ``stranded``.
+    """
 
     key: str
     fn: Callable[..., Any]
@@ -32,13 +49,37 @@ class TaskRecord:
     future: Future
     attempts: int = 0
     failed_workers: list[str] = field(default_factory=list)
+    timeline: list[tuple[str, float]] = field(default_factory=list)
+
+    def mark(self, event: str) -> float:
+        now = time.monotonic()
+        self.timeline.append((event, now))
+        return now
+
+    def last(self, event: str) -> Optional[float]:
+        """Most recent timestamp of ``event`` (None if never marked)."""
+        for name, ts in reversed(self.timeline):
+            if name == event:
+                return ts
+        return None
 
 
 class Scheduler:
-    """Thread-safe task queue with failure-driven reassignment."""
+    """Thread-safe task queue with failure-driven reassignment.
+
+    ``tracer`` defaults to the process-wide tracer (normally the null
+    tracer); ``metrics`` defaults to a private registry so concurrent
+    schedulers don't share counters.  The legacy ``tasks_submitted`` /
+    ``tasks_completed`` / ``tasks_failed`` / ``reassignments``
+    attributes remain readable as properties backed by the registry.
+    """
 
     def __init__(
-        self, max_retries: int = 2, worker_grace_seconds: float = 1.0
+        self,
+        max_retries: int = 2,
+        worker_grace_seconds: float = 1.0,
+        tracer: Optional[NullTracer | Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self._queue: "queue.Queue[Optional[TaskRecord]]" = queue.Queue()
         self._counter = itertools.count()
@@ -51,10 +92,47 @@ class Scheduler:
         #: nanny restart, a late jsrun) before declaring queued tasks
         #: stranded when the last worker has died
         self.worker_grace_seconds = float(worker_grace_seconds)
-        self.tasks_submitted = 0
-        self.tasks_completed = 0
-        self.tasks_failed = 0
-        self.reassignments = 0
+        self.tracer = tracer if tracer is not None else get_tracer()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._c_submitted = self.metrics.counter(
+            "scheduler_tasks_submitted_total"
+        )
+        self._c_completed = self.metrics.counter(
+            "scheduler_tasks_completed_total"
+        )
+        self._c_failed = self.metrics.counter("scheduler_tasks_failed_total")
+        self._c_reassigned = self.metrics.counter(
+            "scheduler_reassignments_total"
+        )
+        self._g_workers = self.metrics.gauge("scheduler_workers")
+        self._h_queue_wait = self.metrics.histogram(
+            "scheduler_task_queue_wait_seconds"
+        )
+        self._h_run_time = self.metrics.histogram(
+            "scheduler_task_run_seconds"
+        )
+        #: one cached flag gates every per-task mark/event/histogram so
+        #: the disabled (null-tracer) path costs only counter ticks
+        self._obs = bool(getattr(self.tracer, "enabled", False))
+
+    # ------------------------------------------------------------------
+    # legacy counter API (registry-backed)
+    # ------------------------------------------------------------------
+    @property
+    def tasks_submitted(self) -> int:
+        return int(self._c_submitted.value)
+
+    @property
+    def tasks_completed(self) -> int:
+        return int(self._c_completed.value)
+
+    @property
+    def tasks_failed(self) -> int:
+        return int(self._c_failed.value)
+
+    @property
+    def reassignments(self) -> int:
+        return int(self._c_reassigned.value)
 
     # ------------------------------------------------------------------
     # client-facing
@@ -69,8 +147,11 @@ class Scheduler:
         record = TaskRecord(
             key=key, fn=fn, args=args, kwargs=kwargs, future=future
         )
-        with self._lock:
-            self.tasks_submitted += 1
+        self._c_submitted.inc()
+        if self._obs:
+            record.mark("submit")
+            self.tracer.event("task.submit", task=key)
+            record.mark("queued")
         self._queue.put(record)
         # a submission onto a worker-less scheduler must not wait
         # forever either: arm the same grace timer used on last-worker
@@ -92,13 +173,16 @@ class Scheduler:
     def register_worker(self, worker: Any) -> None:
         with self._lock:
             self._workers[worker.name] = worker
+            self._g_workers.set(len(self._workers))
             if self._strand_timer is not None:
                 self._strand_timer.cancel()
                 self._strand_timer = None
+        self.tracer.event("worker.register", worker=worker.name)
 
     def unregister_worker(self, worker: Any) -> None:
         with self._lock:
             self._workers.pop(worker.name, None)
+            self._g_workers.set(len(self._workers))
             none_left = not self._workers and not self._closed
             if none_left and self._strand_timer is None:
                 # give nannies / late workers a grace window before
@@ -110,6 +194,7 @@ class Scheduler:
                 )
                 self._strand_timer.daemon = True
                 self._strand_timer.start()
+        self.tracer.event("worker.unregister", worker=worker.name)
 
     def _strand_check(self, last_worker: str) -> None:
         with self._lock:
@@ -136,15 +221,22 @@ class Scheduler:
                 self._queue.put(None)
                 break
             drained.append(record)
+        if not drained:
+            return
         for record in drained:
+            if self._obs:
+                record.mark("stranded")
             record.future.set_exception(
                 WorkerFailure(
                     last_worker,
                     f"task {record.key} stranded: no workers remain",
                 )
             )
-            with self._lock:
-                self.tasks_failed += 1
+        # one batched update instead of a lock round-trip per record
+        self._c_failed.inc(len(drained))
+        self.tracer.event(
+            "task.stranded", count=len(drained), last_worker=last_worker
+        )
 
     @property
     def n_workers(self) -> int:
@@ -160,13 +252,24 @@ class Scheduler:
         if record is None:  # shutdown sentinel: re-emit for siblings
             self._queue.put(None)
             return None
+        if self._obs:
+            queued_at = record.last("queued")
+            started = record.mark("running")
+            if queued_at is not None:
+                self._h_queue_wait.observe(started - queued_at)
         record.future.set_running()
         return record
 
     def task_done(self, record: TaskRecord, result: Any) -> None:
+        if self._obs:
+            finished = record.mark("done")
+            started = record.last("running")
+            if started is not None:
+                self._h_run_time.observe(finished - started)
         record.future.set_result(result)
-        with self._lock:
-            self.tasks_completed += 1
+        self._c_completed.inc()
+        if self._obs:
+            self.tracer.event("task.done", task=record.key)
 
     def task_erred(self, record: TaskRecord, exc: BaseException) -> None:
         """An *application* error: propagate to the future, no retry.
@@ -174,15 +277,25 @@ class Scheduler:
         (Bad hyperparameters will fail on any node; retrying would
         waste a node-fraction of the allocation.)
         """
+        if self._obs:
+            finished = record.mark("err")
+            started = record.last("running")
+            if started is not None:
+                self._h_run_time.observe(finished - started)
         record.future.set_exception(exc)
-        with self._lock:
-            self.tasks_failed += 1
+        self._c_failed.inc()
+        if self._obs:
+            self.tracer.event(
+                "task.err", task=record.key, error=type(exc).__name__
+            )
 
     def worker_died(self, record: TaskRecord, worker_name: str) -> None:
         """A worker crashed mid-task: requeue or give up."""
         record.attempts += 1
         record.failed_workers.append(worker_name)
         if record.attempts > self.max_retries or self.n_workers == 0:
+            if self._obs:
+                record.mark("abandoned")
             record.future.set_exception(
                 WorkerFailure(
                     worker_name,
@@ -191,12 +304,25 @@ class Scheduler:
                     f"{record.failed_workers}",
                 )
             )
-            with self._lock:
-                self.tasks_failed += 1
+            self._c_failed.inc()
+            if self._obs:
+                self.tracer.event(
+                    "task.abandoned",
+                    task=record.key,
+                    worker=worker_name,
+                    attempts=record.attempts,
+                )
             return
         record.future.set_pending()
-        with self._lock:
-            self.reassignments += 1
+        self._c_reassigned.inc()
+        if self._obs:
+            self.tracer.event(
+                "task.retry",
+                task=record.key,
+                worker=worker_name,
+                attempt=record.attempts,
+            )
+            record.mark("queued")
         self._queue.put(record)
 
     # ------------------------------------------------------------------
@@ -207,10 +333,11 @@ class Scheduler:
 
     def stats(self) -> dict[str, int]:
         with self._lock:
-            return {
-                "submitted": self.tasks_submitted,
-                "completed": self.tasks_completed,
-                "failed": self.tasks_failed,
-                "reassignments": self.reassignments,
-                "workers": len(self._workers),
-            }
+            n_workers = len(self._workers)
+        return {
+            "submitted": self.tasks_submitted,
+            "completed": self.tasks_completed,
+            "failed": self.tasks_failed,
+            "reassignments": self.reassignments,
+            "workers": n_workers,
+        }

@@ -27,7 +27,14 @@ from repro.exceptions import WorkerFailure
 
 
 class Worker:
-    """A single-task-at-a-time execution thread."""
+    """A single-task-at-a-time execution thread.
+
+    Each executed task is wrapped in a ``worker.task`` span (tags:
+    worker, task, attempt) on the scheduler's tracer, and a
+    ``workers_busy`` gauge on the scheduler's metrics registry tracks
+    how many workers are mid-task — the worker-utilization view the
+    trace report aggregates.
+    """
 
     def __init__(
         self,
@@ -42,6 +49,10 @@ class Worker:
         self._alive = False
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
+        self._busy_gauge = scheduler.metrics.gauge("workers_busy")
+        self._executed_counter = scheduler.metrics.counter(
+            "worker_tasks_executed_total"
+        )
 
     @property
     def alive(self) -> bool:
@@ -69,6 +80,8 @@ class Worker:
             self._thread.join()
 
     def _run(self) -> None:
+        tracer = self.scheduler.tracer
+        obs = bool(getattr(tracer, "enabled", False))
         try:
             while not self._stop.is_set():
                 record = self.scheduler.next_task()
@@ -78,12 +91,37 @@ class Worker:
                     self.name, self.tasks_executed
                 ):
                     # simulated node failure: drop the task and die
+                    if obs:
+                        tracer.event(
+                            "worker.fault",
+                            worker=self.name,
+                            task=record.key,
+                        )
                     self.scheduler.worker_died(record, self.name)
                     return
+                if obs:
+                    self._busy_gauge.inc()
                 try:
-                    result = record.fn(*record.args, **record.kwargs)
+                    if obs:
+                        with tracer.span(
+                            "worker.task",
+                            worker=self.name,
+                            task=record.key,
+                            attempt=record.attempts,
+                        ):
+                            result = record.fn(
+                                *record.args, **record.kwargs
+                            )
+                    else:
+                        result = record.fn(*record.args, **record.kwargs)
                 except WorkerFailure:
                     # the task function itself detected a node problem
+                    if obs:
+                        tracer.event(
+                            "worker.fault",
+                            worker=self.name,
+                            task=record.key,
+                        )
                     self.scheduler.worker_died(record, self.name)
                     return
                 except BaseException as exc:  # noqa: BLE001
@@ -91,6 +129,9 @@ class Worker:
                 else:
                     self.scheduler.task_done(record, result)
                 finally:
+                    if obs:
+                        self._busy_gauge.dec()
+                    self._executed_counter.inc()
                     self.tasks_executed += 1
         finally:
             self._alive = False

@@ -40,6 +40,7 @@ from repro.evo.nsga2 import (
     rank_ordinal_sort_op,
 )
 from repro.evo.problem import Problem
+from repro.obs.trace import NullTracer, Tracer, get_tracer
 from repro.rng import RngLike, ensure_rng
 
 
@@ -119,6 +120,7 @@ def generational_nsga2(
     rng: RngLike = None,
     context: Optional[Context] = None,
     callback: Optional[Callable[[GenerationRecord], None]] = None,
+    tracer: Optional[NullTracer | Tracer] = None,
 ) -> list[GenerationRecord]:
     """Run one NSGA-II deployment; returns one record per generation.
 
@@ -127,61 +129,72 @@ def generational_nsga2(
     being the initial population — matching the paper's accounting
     ("Generation 0 was the initial random population", 7 generations of
     trainings total for 6 EA steps).
+
+    Each generation runs inside an ``ea.generation`` span on ``tracer``
+    (default: the process-wide tracer), which parents the in-process
+    evaluation spans and frames the distributed ones.
     """
     gen_rng = ensure_rng(rng)
+    trc = tracer if tracer is not None else get_tracer()
     ctx = context if context is not None else Context()
     schedule = AnnealingSchedule(
         initial_std, factor=anneal_factor, context=ctx
     )
-    parents = random_initial_population(
-        pop_size,
-        init_ranges,
-        problem,
-        decoder=decoder,
-        individual_cls=individual_cls,
-        rng=gen_rng,
-    )
-    parents = ops.eval_pool(client=client, size=len(parents))(iter(parents))
-    records = [
-        GenerationRecord(
-            generation=0,
-            population=list(parents),
-            evaluated=list(parents),
-            std=schedule.current.copy(),
-            n_failures=_count_failures(parents),
+    with trc.span("ea.generation", generation=0) as span:
+        parents = random_initial_population(
+            pop_size,
+            init_ranges,
+            problem,
+            decoder=decoder,
+            individual_cls=individual_cls,
+            rng=gen_rng,
         )
-    ]
+        parents = ops.eval_pool(client=client, size=len(parents))(
+            iter(parents)
+        )
+        records = [
+            GenerationRecord(
+                generation=0,
+                population=list(parents),
+                evaluated=list(parents),
+                std=schedule.current.copy(),
+                n_failures=_count_failures(parents),
+            )
+        ]
+        span.tag(evaluated=len(parents), failures=records[0].n_failures)
     if callback is not None:
         callback(records[0])
     for generation in range(1, generations + 1):
-        offspring = ops.pipe(
-            parents,
-            lambda pop: ops.random_selection(pop, rng=gen_rng),
-            ops.clone,
-            ops.mutate_gaussian(
-                std=ctx["std"],
-                expected_num_mutations="isotropic",
-                hard_bounds=hard_bounds,
-                rng=gen_rng,
-            ),
-            ops.eval_pool(client=client, size=len(parents)),
-        )
-        combined = rank_ordinal_sort_op(
-            parents=parents, algorithm=sort_algorithm
-        )(offspring)
-        crowded = crowding_distance_calc(combined)
-        parents = ops.truncation_selection(
-            size=pop_size, key=lambda x: (-x.rank, x.distance)
-        )(crowded)
-        schedule.step()
-        record = GenerationRecord(
-            generation=generation,
-            population=list(parents),
-            evaluated=list(offspring),
-            std=schedule.current.copy(),
-            n_failures=_count_failures(offspring),
-        )
-        records.append(record)
+        with trc.span("ea.generation", generation=generation) as span:
+            offspring = ops.pipe(
+                parents,
+                lambda pop: ops.random_selection(pop, rng=gen_rng),
+                ops.clone,
+                ops.mutate_gaussian(
+                    std=ctx["std"],
+                    expected_num_mutations="isotropic",
+                    hard_bounds=hard_bounds,
+                    rng=gen_rng,
+                ),
+                ops.eval_pool(client=client, size=len(parents)),
+            )
+            combined = rank_ordinal_sort_op(
+                parents=parents, algorithm=sort_algorithm
+            )(offspring)
+            crowded = crowding_distance_calc(combined)
+            parents = ops.truncation_selection(
+                size=pop_size, key=lambda x: (-x.rank, x.distance)
+            )(crowded)
+            schedule.step()
+            record = GenerationRecord(
+                generation=generation,
+                population=list(parents),
+                evaluated=list(offspring),
+                std=schedule.current.copy(),
+                n_failures=_count_failures(offspring),
+            )
+            records.append(record)
+            span.tag(evaluated=len(offspring), failures=record.n_failures)
         if callback is not None:
             callback(record)
     return records

@@ -21,6 +21,7 @@ from repro.exceptions import WalltimeExceeded
 from repro.hpc.batch import BatchJob, JsrunLauncher
 from repro.hpc.node import NodeState
 from repro.hpc.runtime_model import TrainingRuntimeModel
+from repro.obs.trace import NullTracer, Tracer, get_tracer
 from repro.rng import RngLike, ensure_rng
 
 
@@ -93,7 +94,9 @@ class ClusterSimulation:
         transient_fraction: float = 0.3,
         max_retries: int = 2,
         rng: RngLike = None,
+        tracer: Optional[NullTracer | Tracer] = None,
     ) -> None:
+        self.tracer = tracer if tracer is not None else get_tracer()
         self.rng = ensure_rng(rng)
         self.job = job or BatchJob()
         self.launcher = JsrunLauncher(self.job)
@@ -128,15 +131,41 @@ class ClusterSimulation:
         """
         report = SimulationReport()
         now = 0.0
-        for g, runtimes in enumerate(generation_workloads):
-            trace, now = self._run_generation(g, list(runtimes), now, report)
-            report.generations.append(trace)
-            if report.walltime_exceeded:
-                break
-        report.total_minutes = now
-        report.nodes_lost = sum(
-            1 for n in self.job.nodes if n.state is NodeState.FAILED
-        )
+        with self.tracer.span(
+            "sim.campaign",
+            n_nodes=len(self.job.nodes),
+            walltime_minutes=self.job.walltime_minutes,
+            nannies=self.nannies,
+        ) as span:
+            for g, runtimes in enumerate(generation_workloads):
+                with self.tracer.span(
+                    "sim.generation", generation=g
+                ) as gen_span:
+                    trace, now = self._run_generation(
+                        g, list(runtimes), now, report
+                    )
+                    gen_span.tag(
+                        sim_start_minutes=trace.start_minutes,
+                        sim_makespan_minutes=trace.makespan_minutes,
+                        n_evaluations=trace.n_evaluations,
+                        n_node_failures=trace.n_node_failures,
+                        n_abandoned=trace.n_abandoned,
+                    )
+                report.generations.append(trace)
+                if report.walltime_exceeded:
+                    self.tracer.event(
+                        "sim.walltime_exceeded", sim_minutes=now
+                    )
+                    break
+            report.total_minutes = now
+            report.nodes_lost = sum(
+                1 for n in self.job.nodes if n.state is NodeState.FAILED
+            )
+            span.tag(
+                sim_total_minutes=report.total_minutes,
+                node_failures=report.node_failures,
+                nodes_lost=report.nodes_lost,
+            )
         return report
 
     def _run_generation(
@@ -187,6 +216,13 @@ class ClusterSimulation:
                     n_failures += 1
                     report.node_failures += 1
                     self.launcher.fail(node)  # type: ignore[arg-type]
+                    self.tracer.event(
+                        "sim.node_failure",
+                        node=getattr(node, "name", str(node)),
+                        generation=generation,
+                        sim_minutes=now,
+                        attempts=attempts + 1,
+                    )
                     if self.nannies and (
                         self.rng.random() < self.transient_fraction
                     ):
@@ -211,6 +247,11 @@ class ClusterSimulation:
                 elif attempts == -1:
                     # nanny restart completing: node recovers
                     node.recover()  # type: ignore[union-attr]
+                    self.tracer.event(
+                        "sim.nanny_restart",
+                        node=getattr(node, "name", str(node)),
+                        sim_minutes=now,
+                    )
                 else:
                     self.launcher.complete(node)  # type: ignore[arg-type]
                     n_completed += 1

@@ -19,6 +19,7 @@ from repro.evo.individual import Individual
 from repro.evo.problem import Problem
 from repro.hpo.driver import NSGA2Settings, run_deepmd_nsga2
 from repro.mo.pareto import pareto_front
+from repro.obs.trace import NullTracer, Tracer, get_tracer
 from repro.rng import seeds_for_runs
 
 
@@ -107,6 +108,11 @@ class Campaign:
     passing ``lambda seed: shared_problem``); per-run RNG seeds are
     derived from the campaign seed, making the whole campaign
     reproducible.
+
+    ``tracer`` (default: the process-wide tracer) frames every run in
+    a ``campaign.run`` span, which in turn parents the per-generation
+    ``ea.generation`` spans — the top of the trace hierarchy a
+    ``repro-hpo trace`` report breaks the wall-clock down by.
     """
 
     def __init__(
@@ -114,10 +120,12 @@ class Campaign:
         problem_factory: Callable[[int], Problem],
         config: Optional[CampaignConfig] = None,
         client: Any = None,
+        tracer: Optional[NullTracer | Tracer] = None,
     ) -> None:
         self.problem_factory = problem_factory
         self.config = config or CampaignConfig()
         self.client = client
+        self.tracer = tracer if tracer is not None else get_tracer()
 
     def run(
         self,
@@ -125,6 +133,13 @@ class Campaign:
     ) -> CampaignResult:
         result = CampaignResult(config=self.config)
         seeds = seeds_for_runs(self.config.base_seed, self.config.n_runs)
+        self.tracer.event(
+            "campaign.start",
+            n_runs=self.config.n_runs,
+            pop_size=self.config.pop_size,
+            generations=self.config.generations,
+            seed=self.config.base_seed,
+        )
         for run_index, seed in enumerate(seeds):
             problem = self.problem_factory(seed)
             cb = (
@@ -132,12 +147,16 @@ class Campaign:
                 if callback is not None
                 else None
             )
-            records = run_deepmd_nsga2(
-                problem=problem,
-                settings=self.config.nsga2_settings(),
-                client=self.client,
-                rng=seed,
-                callback=cb,
-            )
+            with self.tracer.span(
+                "campaign.run", run=run_index, seed=int(seed)
+            ):
+                records = run_deepmd_nsga2(
+                    problem=problem,
+                    settings=self.config.nsga2_settings(),
+                    client=self.client,
+                    rng=seed,
+                    callback=cb,
+                    tracer=self.tracer,
+                )
             result.runs.append(records)
         return result

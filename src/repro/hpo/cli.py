@@ -22,12 +22,15 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.hpo.campaign import Campaign, CampaignConfig
     from repro.hpo.landscape import SurrogateDeepMDProblem
 
+    from repro.obs import NULL_TRACER, Tracer, use_tracer
+
     config = CampaignConfig(
         n_runs=args.runs,
         pop_size=args.pop_size,
         generations=args.generations,
         base_seed=args.seed,
     )
+    tracer = Tracer(args.trace) if args.trace else NULL_TRACER
     if args.backend == "surrogate":
         factory = lambda seed: SurrogateDeepMDProblem(seed=seed)  # noqa: E731
     else:
@@ -40,8 +43,16 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         settings = EvaluatorSettings(numb_steps=args.steps)
         shared = DeepMDProblem(dataset, settings=settings)
         factory = lambda seed: shared  # noqa: E731
-    campaign = Campaign(factory, config)
-    result = campaign.run()
+    with use_tracer(tracer):
+        campaign = Campaign(factory, config, tracer=tracer)
+        result = campaign.run()
+    if args.trace:
+        tracer.close()
+        print(
+            f"trace written to {args.trace} "
+            f"(campaign {tracer.campaign_id}); render it with: "
+            f"repro-hpo trace {args.trace}"
+        )
     print(f"total trainings: {result.n_trainings}")
     print(f"failures by generation: {result.failures_by_generation()}")
     print()
@@ -103,6 +114,23 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         export_frontier_csv(result, out / "fig2_frontier.csv")
         export_parallel_coordinates_csv(result, out / "fig3_parallel.csv")
         print(f"figure data exported to {out}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.obs import read_trace, render_trace_report
+
+    path = Path(args.file)
+    if not path.exists():
+        print(f"trace file not found: {path}", file=sys.stderr)
+        return 1
+    records = read_trace(path)
+    if not records:
+        print(f"no trace records in {path}", file=sys.stderr)
+        return 1
+    print(render_trace_report(records, top=args.top))
     return 0
 
 
@@ -208,7 +236,25 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument(
         "--export-csv", default=None, help="export figure data as CSV"
     )
+    p.add_argument(
+        "--trace",
+        default=None,
+        help="capture a span/event trace to this JSONL file",
+    )
     p.set_defaults(func=_cmd_campaign)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help=(
+            "render a wall-clock breakdown, worker utilization, and "
+            "straggler summary from a trace file"
+        ),
+    )
+    p_trace.add_argument("file", help="trace JSONL written by a Tracer")
+    p_trace.add_argument(
+        "--top", type=int, default=5, help="how many stragglers to list"
+    )
+    p_trace.set_defaults(func=_cmd_trace)
 
     p_sens = sub.add_parser(
         "sensitivity", help="OAT + Morris screening of the genes"

@@ -39,6 +39,7 @@ def run_deepmd_nsga2(
     client: Any = None,
     rng: RngLike = None,
     callback: Optional[Callable[[GenerationRecord], None]] = None,
+    tracer: Any = None,
 ) -> list[GenerationRecord]:
     """One EA deployment over the DeePMD hyperparameter space.
 
@@ -63,4 +64,5 @@ def run_deepmd_nsga2(
         rng=rng,
         context=Context(),
         callback=callback,
+        tracer=tracer,
     )

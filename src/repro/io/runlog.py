@@ -7,6 +7,15 @@ generation to a journal file as the campaign executes (via the
 campaign callback hook), and :func:`read_runlog` parses it back —
 including partially written journals from interrupted jobs, which is
 the whole point of logging line-by-line.
+
+Journal lines are *strict* JSON: generations with no viable
+individuals record their losses as ``null`` (never the bare ``NaN``
+token Python's ``json`` would otherwise emit, which standard parsers
+reject).  A :class:`RunLogger` can share a
+:class:`~repro.obs.trace.Tracer` with the rest of the stack, stamping
+the tracer's campaign id into every journal line and mirroring each
+generation as a trace event — so the coarse journal and the
+fine-grained task trace correlate.
 """
 
 from __future__ import annotations
@@ -19,6 +28,13 @@ from typing import Any, Optional
 import numpy as np
 
 from repro.evo.algorithm import GenerationRecord
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NullTracer, Tracer
+
+
+def _finite_or_none(value: float) -> Optional[float]:
+    """Strict-JSON stand-in for NaN/inf sentinel losses."""
+    return float(value) if np.isfinite(value) else None
 
 
 class RunLogger:
@@ -28,14 +44,37 @@ class RunLogger:
 
         logger = RunLogger(path)
         Campaign(factory, config).run(callback=logger)
+
+    Pass ``tracer`` (and optionally ``metrics``) to tie the journal to
+    a task trace: events gain the tracer's ``campaign`` id, each
+    generation emits a ``generation.logged`` trace event, and the
+    registry tracks ``runlog_events_total`` / ``runlog_failures_total``.
     """
 
-    def __init__(self, path: str | Path, flush: bool = True) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        flush: bool = True,
+        tracer: Optional[NullTracer | Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self.flush = flush
+        self.tracer = tracer
+        self.metrics = metrics
+        self._c_events = (
+            metrics.counter("runlog_events_total") if metrics else None
+        )
+        self._c_failures = (
+            metrics.counter("runlog_failures_total") if metrics else None
+        )
         self._start = time.monotonic()
         self.events_written = 0
+
+    @property
+    def campaign_id(self) -> Optional[str]:
+        return self.tracer.campaign_id if self.tracer is not None else None
 
     def __call__(self, run_index: int, record: GenerationRecord) -> None:
         viable = [ind for ind in record.population if ind.is_viable]
@@ -52,16 +91,30 @@ class RunLogger:
             "generation": record.generation,
             "evaluated": len(record.evaluated),
             "failures": record.n_failures,
-            "best_energy": best_energy,
-            "best_force": best_force,
-            "median_force": median_force,
-            "mutation_std_first_gene": float(record.std[0]),
+            "best_energy": _finite_or_none(best_energy),
+            "best_force": _finite_or_none(best_force),
+            "median_force": _finite_or_none(median_force),
+            "mutation_std_first_gene": _finite_or_none(record.std[0]),
         }
+        if self.campaign_id is not None:
+            event["campaign"] = self.campaign_id
         with self.path.open("a") as fh:
-            fh.write(json.dumps(event) + "\n")
+            fh.write(json.dumps(event, allow_nan=False) + "\n")
             if self.flush:
                 fh.flush()
         self.events_written += 1
+        if self._c_events is not None:
+            self._c_events.inc()
+        if self._c_failures is not None and record.n_failures:
+            self._c_failures.inc(record.n_failures)
+        if self.tracer is not None:
+            self.tracer.event(
+                "generation.logged",
+                run=run_index,
+                generation=record.generation,
+                evaluated=len(record.evaluated),
+                failures=record.n_failures,
+            )
 
 
 def read_runlog(path: str | Path) -> list[dict[str, Any]]:
@@ -80,22 +133,31 @@ def read_runlog(path: str | Path) -> list[dict[str, Any]]:
     return events
 
 
+def _finite_values(events: list[dict[str, Any]], key: str) -> list[float]:
+    out = []
+    for e in events:
+        value = e.get(key)
+        if isinstance(value, (int, float)) and np.isfinite(value):
+            out.append(float(value))
+    return out
+
+
 def summarize_runlog(events: list[dict[str, Any]]) -> dict[str, Any]:
-    """Campaign-level digest of a journal (possibly from a partial run)."""
+    """Campaign-level digest of a journal (possibly from a partial run).
+
+    Journals written by other versions may miss keys (and no-viable
+    generations carry ``null`` losses); the digest degrades gracefully
+    instead of raising.
+    """
     if not events:
         return {"runs": 0, "generations": 0, "evaluations": 0}
-    runs = {e["run"] for e in events}
-    finite_force = [
-        e["best_force"]
-        for e in events
-        if isinstance(e["best_force"], (int, float))
-        and np.isfinite(e["best_force"])
-    ]
+    runs = {e.get("run") for e in events if e.get("run") is not None}
+    finite_force = _finite_values(events, "best_force")
     return {
         "runs": len(runs),
         "generations": len(events),
-        "evaluations": sum(e["evaluated"] for e in events),
-        "failures": sum(e["failures"] for e in events),
+        "evaluations": sum(int(e.get("evaluated") or 0) for e in events),
+        "failures": sum(int(e.get("failures") or 0) for e in events),
         "best_force": min(finite_force) if finite_force else float("nan"),
-        "elapsed_seconds": events[-1]["elapsed_seconds"],
+        "elapsed_seconds": events[-1].get("elapsed_seconds", float("nan")),
     }

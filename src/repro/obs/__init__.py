@@ -1,0 +1,72 @@
+"""Zero-dependency tracing + metrics for campaign observability.
+
+The paper's campaigns (§2.2.5) were diagnosed from raw Dask worker
+logs; this package gives the reproduction first-class telemetry
+instead:
+
+* :mod:`repro.obs.trace` — :class:`Span` context managers and a
+  process-wide :class:`Tracer` streaming strict-JSON span/event lines
+  to a trace file (a :class:`NullTracer` no-op is the default, cheap
+  enough for hot paths);
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
+  gauges, and fixed-bucket histograms, snapshot-able and exportable in
+  Prometheus text format;
+* :mod:`repro.obs.report` — trace-file analysis: wall-clock breakdown,
+  worker utilization, and straggler/retry summaries (the
+  ``repro-hpo trace`` subcommand).
+
+The scheduler, workers, client, cluster simulation, trainer, EA loop,
+and campaign driver are all instrumented; enable capture by installing
+a tracer::
+
+    from repro.obs import Tracer, set_tracer
+    set_tracer(Tracer("runs/campaign-trace.jsonl"))
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    read_trace,
+    set_tracer,
+    use_tracer,
+)
+from repro.obs.report import (
+    render_trace_report,
+    report_from_file,
+    straggler_summary,
+    wallclock_breakdown,
+    worker_utilization,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "get_registry",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "read_trace",
+    "render_trace_report",
+    "report_from_file",
+    "wallclock_breakdown",
+    "worker_utilization",
+    "straggler_summary",
+]

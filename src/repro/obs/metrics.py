@@ -1,0 +1,294 @@
+"""Counters, gauges, fixed-bucket histograms, and their registry.
+
+The scheduler's ad-hoc ``tasks_*`` integers answered "how many" but
+not "how long" or "how spread out" — and every new subsystem grew its
+own counters.  :class:`MetricsRegistry` centralizes them: named
+counters (monotonic totals), gauges (instantaneous levels like busy
+workers), and fixed-bucket histograms (queue-wait and run-time
+distributions), all thread-safe, snapshot-able as a plain dict, and
+exportable in the Prometheus text exposition format so a real
+deployment can be scraped.
+
+Everything here is zero-dependency and cheap: a counter increment is
+one lock acquisition and one float add.
+"""
+
+from __future__ import annotations
+
+import bisect
+import copy
+import itertools
+import re
+import threading
+from typing import Any, Optional, Sequence
+
+#: default histogram buckets (seconds): spans sub-millisecond task
+#: handoffs through the paper's 2-hour training cap
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    10.0,
+    60.0,
+    300.0,
+    1800.0,
+    7200.0,
+)
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    return _NAME_RE.sub("_", name)
+
+
+class Counter:
+    """A monotonically increasing total.
+
+    The unit increment is a bare ``next()`` on an ``itertools.count``
+    — a single C call, atomic under the GIL, no lock — because the
+    scheduler bumps a counter on every task transition.  Bulk and
+    fractional increments go through a lock.
+    """
+
+    __slots__ = ("name", "_ticks", "_lock", "_bulk")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._ticks = itertools.count()
+        self._lock = threading.Lock()
+        self._bulk = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount == 1.0:
+            next(self._ticks)
+            return
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._bulk += amount
+
+    @property
+    def value(self) -> float:
+        # a copy's next() reads the tick count without advancing it
+        ticks = next(copy.copy(self._ticks))
+        with self._lock:
+            return ticks + self._bulk
+
+
+class Gauge:
+    """An instantaneous level (busy workers, queue depth).
+
+    Unit ``inc``/``dec`` are lock-free atomic tick advances (hot path:
+    workers flipping busy/idle per task); ``set`` and non-unit deltas
+    rebase through a lock.
+    """
+
+    __slots__ = ("name", "_ups", "_downs", "_lock", "_base")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._ups = itertools.count()
+        self._downs = itertools.count()
+        self._lock = threading.Lock()
+        self._base = 0.0
+
+    def _ticks(self) -> float:
+        return next(copy.copy(self._ups)) - next(copy.copy(self._downs))
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._base = float(value) - self._ticks()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount == 1.0:
+            next(self._ups)
+            return
+        with self._lock:
+            self._base += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        if amount == 1.0:
+            next(self._downs)
+            return
+        with self._lock:
+            self._base -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._base + self._ticks()
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative, Prometheus-style).
+
+    ``buckets`` are upper bounds; an implicit ``+Inf`` bucket catches
+    the tail.  ``observe`` is a bisect plus two adds.
+    """
+
+    __slots__ = ("name", "buckets", "_lock", "_counts", "_sum", "_count")
+
+    def __init__(
+        self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> None:
+        self.name = name
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        if not self.buckets:
+            raise ValueError("need at least one bucket bound")
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(self.buckets) + 1)  # +Inf tail
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        idx = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[idx] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def summary(self) -> dict[str, Any]:
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+            s = self._sum
+        return {
+            "count": total,
+            "sum": s,
+            "mean": (s / total) if total else 0.0,
+            "buckets": {
+                str(b): c for b, c in zip(self.buckets, counts[:-1])
+            }
+            | {"+Inf": counts[-1]},
+        }
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile: the upper bound of the bucket where
+        the ``q``-th observation lands (the last finite bound for the
+        +Inf tail)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+        if total == 0:
+            return 0.0
+        rank = q * total
+        seen = 0
+        for bound, c in zip(self.buckets, counts[:-1]):
+            seen += c
+            if seen >= rank:
+                return bound
+        return self.buckets[-1]
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named metrics.
+
+    Re-requesting a name returns the same instrument (so modules can
+    grab handles independently); requesting an existing name as a
+    different kind raises.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, name: str, kind, *args) -> Any:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = kind(name, *args)
+                self._metrics[name] = metric
+            elif not isinstance(metric, kind):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        return self._get_or_create(
+            name, Histogram, buckets or DEFAULT_BUCKETS
+        )
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Point-in-time dict view: counters/gauges as numbers,
+        histograms as their :meth:`~Histogram.summary` dict."""
+        with self._lock:
+            metrics = dict(self._metrics)
+        out: dict[str, Any] = {}
+        for name in sorted(metrics):
+            metric = metrics[name]
+            if isinstance(metric, Histogram):
+                out[name] = metric.summary()
+            else:
+                out[name] = metric.value
+        return out
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition (version 0.0.4) of every metric."""
+        with self._lock:
+            metrics = dict(self._metrics)
+        lines: list[str] = []
+        for name in sorted(metrics):
+            metric = metrics[name]
+            pname = _prom_name(name)
+            if isinstance(metric, Counter):
+                lines.append(f"# TYPE {pname} counter")
+                lines.append(f"{pname} {metric.value:g}")
+            elif isinstance(metric, Gauge):
+                lines.append(f"# TYPE {pname} gauge")
+                lines.append(f"{pname} {metric.value:g}")
+            else:
+                lines.append(f"# TYPE {pname} histogram")
+                summary = metric.summary()
+                cumulative = 0
+                for bound in metric.buckets:
+                    cumulative += summary["buckets"][str(bound)]
+                    lines.append(
+                        f'{pname}_bucket{{le="{bound:g}"}} {cumulative}'
+                    )
+                cumulative += summary["buckets"]["+Inf"]
+                lines.append(f'{pname}_bucket{{le="+Inf"}} {cumulative}')
+                lines.append(f"{pname}_sum {summary['sum']:g}")
+                lines.append(f"{pname}_count {summary['count']}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+_global_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry (components that want
+    isolation — e.g. each :class:`~repro.distributed.Scheduler` —
+    create their own)."""
+    return _global_registry

@@ -1,0 +1,526 @@
+"""Tests for the observability stack: tracer, metrics registry,
+scheduler task timelines, journal strictness, and the trace report.
+
+The scheduler-lifecycle tests drive the queue by hand (submit →
+``next_task`` → ``task_done``/``worker_died``) so the
+:class:`~repro.distributed.scheduler.TaskRecord` under test is
+deterministic; the integration tests run a real traced
+:class:`~repro.distributed.LocalCluster`.
+"""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.distributed import LocalCluster, Scheduler
+from repro.evo.algorithm import GenerationRecord
+from repro.exceptions import WorkerFailure
+from repro.hpo.cli import main as hpo_main
+from repro.io import RunLogger, read_runlog, summarize_runlog
+from repro.obs import (
+    NULL_TRACER,
+    MetricsRegistry,
+    Tracer,
+    get_tracer,
+    read_trace,
+    render_trace_report,
+    set_tracer,
+    use_tracer,
+)
+from repro.obs.report import (
+    straggler_summary,
+    wallclock_breakdown,
+    worker_utilization,
+)
+
+
+def _strict_loads(line: str) -> dict:
+    """Parse one journal/trace line rejecting NaN/Infinity tokens."""
+
+    def _reject(token: str):
+        raise ValueError(f"non-strict JSON token: {token}")
+
+    return json.loads(line, parse_constant=_reject)
+
+
+class _DummyWorker:
+    def __init__(self, name: str = "w0") -> None:
+        self.name = name
+
+
+# ----------------------------------------------------------------------
+# tracer
+# ----------------------------------------------------------------------
+class TestTracer:
+    def test_span_records_fields(self):
+        tracer = Tracer()
+        with tracer.span("phase", worker="w0") as span:
+            span.tag(extra=1)
+        (rec,) = tracer.spans("phase")
+        assert rec["type"] == "span"
+        assert rec["status"] == "ok"
+        assert rec["dur"] >= 0.0
+        assert rec["parent"] is None
+        assert rec["tags"] == {"worker": "w0", "extra": 1}
+
+    def test_nested_spans_link_parents(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+            tracer.event("mid")
+        inner = tracer.spans("inner")[0]
+        outer = tracer.spans("outer")[0]
+        event = tracer.events("mid")[0]
+        assert inner["parent"] == outer["id"]
+        assert event["parent"] == outer["id"]
+        assert outer["parent"] is None
+
+    def test_exception_marks_err_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("no")
+        (rec,) = tracer.spans("boom")
+        assert rec["status"] == "err"
+        assert rec["tags"]["error"] == "RuntimeError"
+
+    def test_threads_get_their_own_roots(self):
+        tracer = Tracer()
+
+        def in_thread():
+            with tracer.span("thread-root"):
+                pass
+
+        with tracer.span("main-root"):
+            t = threading.Thread(target=in_thread)
+            t.start()
+            t.join()
+        assert tracer.spans("thread-root")[0]["parent"] is None
+
+    def test_file_lines_are_strict_json(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with Tracer(path, campaign_id="cafe01") as tracer:
+            tracer.event("has-nan", value=float("nan"), inf=float("inf"))
+            with tracer.span("s", arr=np.float64("nan")):
+                pass
+        lines = path.read_text().splitlines()
+        records = [_strict_loads(line) for line in lines]
+        assert records[0] == pytest.approx(records[0])  # parsed at all
+        assert records[0]["campaign"] == "cafe01"
+        event = next(r for r in records if r["name"] == "has-nan")
+        assert event["tags"]["value"] is None
+        assert event["tags"]["inf"] is None
+        span = next(r for r in records if r["name"] == "s")
+        assert span["tags"]["arr"] is None
+
+    def test_read_trace_tolerates_torn_tail(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with Tracer(path) as tracer:
+            tracer.event("ok")
+        with path.open("a") as fh:
+            fh.write('{"type": "event", "name"')  # killed mid-write
+        records = read_trace(path)
+        assert [r["name"] for r in records] == ["trace.start", "ok"]
+
+    def test_keep_in_memory_false_still_streams(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with Tracer(path, keep_in_memory=False) as tracer:
+            tracer.event("streamed")
+            assert tracer.records == []
+        assert any(r["name"] == "streamed" for r in read_trace(path))
+
+    def test_null_tracer_is_inert(self):
+        assert NULL_TRACER.enabled is False
+        with NULL_TRACER.span("anything", k=1) as span:
+            span.tag(more=2)
+        NULL_TRACER.event("anything")
+        assert NULL_TRACER.records == []
+
+    def test_use_tracer_scopes_the_global(self):
+        tracer = Tracer()
+        before = get_tracer()
+        with use_tracer(tracer):
+            assert get_tracer() is tracer
+        assert get_tracer() is before
+
+    def test_set_tracer_none_restores_null(self):
+        previous = set_tracer(Tracer())
+        try:
+            assert get_tracer().enabled
+        finally:
+            set_tracer(None)
+        assert get_tracer() is NULL_TRACER or not get_tracer().enabled
+        set_tracer(previous)
+
+
+# ----------------------------------------------------------------------
+# metrics
+# ----------------------------------------------------------------------
+class TestMetrics:
+    def test_counter_unit_and_bulk(self):
+        c = MetricsRegistry().counter("c")
+        c.inc()
+        c.inc()
+        c.inc(3.5)
+        assert c.value == pytest.approx(5.5)
+
+    def test_counter_rejects_negative(self):
+        c = MetricsRegistry().counter("c")
+        with pytest.raises(ValueError):
+            c.inc(-1.0)
+
+    def test_counter_threaded_increments_all_land(self):
+        c = MetricsRegistry().counter("c")
+        n, per = 8, 5000
+
+        def bump():
+            for _ in range(per):
+                c.inc()
+
+        threads = [threading.Thread(target=bump) for _ in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == n * per
+
+    def test_gauge_inc_dec_set(self):
+        g = MetricsRegistry().gauge("g")
+        g.inc()
+        g.inc()
+        g.dec()
+        assert g.value == 1.0
+        g.set(10.0)
+        assert g.value == 10.0
+        g.inc(2.5)
+        assert g.value == 12.5
+
+    def test_histogram_buckets_and_quantile(self):
+        h = MetricsRegistry().histogram("h", buckets=[0.1, 1.0, 10.0])
+        for v in (0.05, 0.5, 0.5, 5.0, 100.0):
+            h.observe(v)
+        assert h.count == 5
+        assert h.sum == pytest.approx(106.05)
+        summary = h.summary()
+        assert summary["buckets"] == {
+            "0.1": 1,
+            "1.0": 2,
+            "10.0": 1,
+            "+Inf": 1,
+        }
+        assert h.quantile(0.5) == 1.0
+        assert h.quantile(1.0) == 10.0  # +Inf tail reports last bound
+
+    def test_registry_get_or_create_and_kind_mismatch(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x")
+        assert reg.names() == ["x"]
+
+    def test_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.gauge("b").set(2.0)
+        reg.histogram("c").observe(0.5)
+        snap = reg.snapshot()
+        assert snap["a"] == 1.0
+        assert snap["b"] == 2.0
+        assert snap["c"]["count"] == 1
+
+    def test_prometheus_exposition(self):
+        reg = MetricsRegistry()
+        reg.counter("tasks_total").inc(2)
+        reg.gauge("busy").set(1)
+        reg.histogram("wait.seconds", buckets=[1.0]).observe(0.5)
+        text = reg.to_prometheus()
+        assert "# TYPE tasks_total counter" in text
+        assert "tasks_total 2" in text
+        assert "# TYPE busy gauge" in text
+        # dots sanitized, cumulative buckets with +Inf, sum and count
+        assert 'wait_seconds_bucket{le="1"} 1' in text
+        assert 'wait_seconds_bucket{le="+Inf"} 1' in text
+        assert "wait_seconds_count 1" in text
+        assert text.endswith("\n")
+
+
+# ----------------------------------------------------------------------
+# scheduler task lifecycle
+# ----------------------------------------------------------------------
+class TestSchedulerLifecycle:
+    def _traced_scheduler(self, **kwargs) -> Scheduler:
+        sched = Scheduler(tracer=Tracer(), **kwargs)
+        sched.register_worker(_DummyWorker())
+        return sched
+
+    def test_timeline_orders_submit_queued_running_done(self):
+        sched = self._traced_scheduler()
+        fut = sched.submit(lambda: 42)
+        record = sched.next_task()
+        sched.task_done(record, 42)
+        assert fut.result(timeout=1) == 42
+        times = dict(record.timeline)
+        assert set(times) == {"submit", "queued", "running", "done"}
+        assert (
+            times["submit"]
+            <= times["queued"]
+            <= times["running"]
+            <= times["done"]
+        )
+
+    def test_retry_increments_reassignments_exactly_once_per_requeue(
+        self,
+    ):
+        sched = self._traced_scheduler(max_retries=2)
+        fut = sched.submit(lambda: None)
+        for expected in (1, 2):
+            record = sched.next_task()
+            sched.worker_died(record, f"w{expected}")
+            assert sched.stats()["reassignments"] == expected
+            assert sched.stats()["failed"] == 0
+        # third death exhausts max_retries: failed, not reassigned
+        record = sched.next_task()
+        sched.worker_died(record, "w3")
+        stats = sched.stats()
+        assert stats["reassignments"] == 2
+        assert stats["failed"] == 1
+        with pytest.raises(WorkerFailure, match="abandoned"):
+            fut.result(timeout=1)
+        # every requeue re-marked the task queued; final state abandoned
+        events = [name for name, _ in record.timeline]
+        assert events.count("queued") == 3  # submit + 2 retries
+        assert events[-1] == "abandoned"
+
+    def test_worker_died_with_no_workers_fails_immediately(self):
+        sched = Scheduler(tracer=Tracer(), max_retries=5)
+        fut = sched.submit(lambda: None)
+        record = sched.next_task()
+        # the only worker died and nothing is registered: no retry
+        sched.worker_died(record, "w0")
+        assert sched.stats()["reassignments"] == 0
+        assert sched.stats()["failed"] == 1
+        with pytest.raises(WorkerFailure):
+            fut.result(timeout=1)
+
+    def test_task_erred_marks_err_not_retry(self):
+        sched = self._traced_scheduler()
+        fut = sched.submit(lambda: None)
+        record = sched.next_task()
+        sched.task_erred(record, ValueError("bad hyperparameters"))
+        assert sched.stats()["failed"] == 1
+        assert sched.stats()["reassignments"] == 0
+        assert record.last("err") is not None
+        with pytest.raises(ValueError):
+            fut.result(timeout=1)
+
+    def test_stats_keeps_legacy_keys(self):
+        sched = Scheduler()
+        assert set(sched.stats()) == {
+            "submitted",
+            "completed",
+            "failed",
+            "reassignments",
+            "workers",
+        }
+        assert sched.tasks_submitted == 0
+        assert sched.tasks_completed == 0
+        assert sched.tasks_failed == 0
+        assert sched.reassignments == 0
+
+    def test_queue_wait_histogram_observed_per_task(self):
+        sched = self._traced_scheduler()
+        for _ in range(3):
+            sched.submit(lambda: None)
+            record = sched.next_task()
+            sched.task_done(record, None)
+        hist = sched.metrics.histogram("scheduler_task_queue_wait_seconds")
+        assert hist.count == 3
+        assert sched.metrics.histogram("scheduler_task_run_seconds").count == 3
+
+    def test_null_tracer_skips_timeline_but_counts(self):
+        sched = Scheduler()  # default: process-wide null tracer
+        sched.register_worker(_DummyWorker())
+        fut = sched.submit(lambda: 1)
+        record = sched.next_task()
+        sched.task_done(record, 1)
+        assert fut.result(timeout=1) == 1
+        assert record.timeline == []  # marks gated off
+        assert sched.stats()["submitted"] == 1
+        assert sched.stats()["completed"] == 1
+
+
+class TestTracedClusterConcurrency:
+    def test_counts_consistent_under_concurrency(self):
+        tracer = Tracer()
+        n_tasks = 100
+        with LocalCluster(n_workers=4, tracer=tracer) as cluster:
+            client = cluster.client()
+            futures = client.map(lambda x: x * 2, range(n_tasks))
+            results = client.gather(futures, timeout=30)
+        assert sorted(results) == [2 * i for i in range(n_tasks)]
+        stats = cluster.scheduler.stats()
+        assert stats["submitted"] == n_tasks
+        assert stats["completed"] == n_tasks
+        assert stats["failed"] == 0
+        task_spans = tracer.spans("worker.task")
+        assert len(task_spans) == n_tasks
+        # submit events precede each task's execution span
+        submit_at = {
+            e["tags"]["task"]: e["mono"]
+            for e in tracer.events("task.submit")
+        }
+        assert len(submit_at) == n_tasks
+        for span in task_spans:
+            assert span["mono"] >= submit_at[span["tags"]["task"]]
+        # executed-task counter agrees with the scheduler
+        executed = cluster.scheduler.metrics.counter(
+            "worker_tasks_executed_total"
+        )
+        assert executed.value == n_tasks
+        # the busy gauge returned to idle
+        assert cluster.scheduler.metrics.gauge("workers_busy").value == 0
+
+
+# ----------------------------------------------------------------------
+# run journal strictness
+# ----------------------------------------------------------------------
+def _record_without_viables(n_failures: int = 2) -> GenerationRecord:
+    return GenerationRecord(
+        generation=0,
+        population=[],
+        evaluated=[],
+        std=np.array([0.1, 0.2]),
+        n_failures=n_failures,
+    )
+
+
+class TestRunLoggerStrictJson:
+    def test_no_viable_generation_writes_null_not_nan(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        RunLogger(path)(0, _record_without_viables())
+        (line,) = path.read_text().splitlines()
+        event = _strict_loads(line)  # raises on a bare NaN token
+        assert event["best_force"] is None
+        assert event["best_energy"] is None
+        assert event["median_force"] is None
+        assert "NaN" not in line
+
+    def test_journal_shares_campaign_id_with_tracer(self, tmp_path):
+        tracer = Tracer(campaign_id="cafe02")
+        registry = MetricsRegistry()
+        logger = RunLogger(
+            tmp_path / "j.jsonl", tracer=tracer, metrics=registry
+        )
+        logger(1, _record_without_viables(n_failures=3))
+        (event,) = read_runlog(tmp_path / "j.jsonl")
+        assert event["campaign"] == "cafe02"
+        (trace_event,) = tracer.events("generation.logged")
+        assert trace_event["tags"]["run"] == 1
+        assert registry.counter("runlog_events_total").value == 1
+        assert registry.counter("runlog_failures_total").value == 3
+
+    def test_summarize_tolerates_missing_keys_and_nulls(self):
+        events = [
+            {"run": 0, "evaluated": 5, "best_force": None},
+            {"generation": 1},  # journal from an older version
+            {"run": 0, "evaluated": None, "failures": 2},
+        ]
+        digest = summarize_runlog(events)
+        assert digest["runs"] == 1
+        assert digest["generations"] == 3
+        assert digest["evaluations"] == 5
+        assert digest["failures"] == 2
+        assert np.isnan(digest["best_force"])
+
+
+# ----------------------------------------------------------------------
+# trace report + CLI
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def cluster_trace(tmp_path_factory):
+    """A real trace captured from a traced LocalCluster run."""
+    path = tmp_path_factory.mktemp("trace") / "trace.jsonl"
+    tracer = Tracer(path, campaign_id="cafe03")
+    with LocalCluster(n_workers=2, tracer=tracer) as cluster:
+        client = cluster.client()
+        client.gather(client.map(lambda x: x + 1, range(20)), timeout=30)
+    tracer.close()
+    return path
+
+
+class TestTraceReport:
+    def test_breakdown_and_utilization(self, cluster_trace):
+        records = read_trace(cluster_trace)
+        breakdown = wallclock_breakdown(records)
+        assert any(r["span"] == "worker.task" for r in breakdown)
+        task_row = next(r for r in breakdown if r["span"] == "worker.task")
+        assert task_row["count"] == 20
+        utilization = worker_utilization(records)
+        # tiny tasks: one worker may drain the queue before the other
+        # starts, but every executed task is attributed to a real node
+        assert utilization
+        assert {r["worker"] for r in utilization} <= {
+            "node-000",
+            "node-001",
+        }
+        assert sum(r["tasks"] for r in utilization) == 20
+
+    def test_straggler_summary_joins_submit_to_span(self, cluster_trace):
+        summary = straggler_summary(read_trace(cluster_trace), top=3)
+        assert summary["n_tasks"] == 20
+        assert len(summary["queue_waits"]) == 20
+        assert len(summary["slowest"]) == 3
+        assert summary["retries"] == 0
+
+    def test_render_contains_all_sections(self, cluster_trace):
+        text = render_trace_report(read_trace(cluster_trace))
+        assert "campaign cafe03" in text
+        assert "wall-clock breakdown by span" in text
+        assert "worker utilization" in text
+        assert "slowest tasks" in text
+        assert "task run-time distribution" in text
+
+    def test_cli_trace_subcommand(self, cluster_trace, capsys):
+        assert hpo_main(["trace", str(cluster_trace), "--top", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "worker utilization" in out
+
+    def test_cli_trace_missing_file(self, tmp_path, capsys):
+        assert hpo_main(["trace", str(tmp_path / "nope.jsonl")]) == 1
+        assert "not found" in capsys.readouterr().err
+
+
+class TestCampaignTraceEndToEnd:
+    def test_campaign_cli_writes_renderable_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "campaign-trace.jsonl"
+        rc = hpo_main(
+            [
+                "campaign",
+                "--runs",
+                "1",
+                "--pop-size",
+                "10",
+                "--generations",
+                "2",
+                "--seed",
+                "7",
+                "--trace",
+                str(trace_path),
+            ]
+        )
+        assert rc == 0
+        assert "repro-hpo trace" in capsys.readouterr().out
+        records = read_trace(trace_path)
+        # every line is strict JSON
+        for line in trace_path.read_text().splitlines():
+            _strict_loads(line)
+        names = {r["name"] for r in records}
+        assert "campaign.run" in names
+        assert "ea.generation" in names
+        gens = [r for r in records if r.get("name") == "ea.generation"]
+        assert len(gens) == 3  # init + 2 generations
+        assert hpo_main(["trace", str(trace_path)]) == 0
+        assert "wall-clock breakdown" in capsys.readouterr().out
