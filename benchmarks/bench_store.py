@@ -1,0 +1,116 @@
+"""Durable-state overhead: the cache and journal must be cheap.
+
+One paper-scale training is ~2 GPU-hours, so the per-evaluation costs
+here have astronomical headroom — but the store also sits on the
+surrogate path used by every other bench, where evaluations take
+microseconds.  Three measures:
+
+* warm-path cost of a cache hit (index and disk) vs. a surrogate
+  evaluation — a disk hit must stay far below one real training's
+  startup, an index hit far below a surrogate call;
+* journal append throughput (fsync per generation record is the
+  designed durability/latency trade);
+* end-to-end: a journaled+cached campaign vs. the bare campaign, then
+  a rerun over the warm cache, which should beat the bare campaign by
+  skipping every evaluation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import once
+from repro.hpo.campaign import Campaign, CampaignConfig
+from repro.hpo.landscape import SurrogateDeepMDProblem
+from repro.hpo.representation import DeepMDRepresentation
+from repro.store import (
+    CachedProblem,
+    CampaignJournal,
+    EvaluationCache,
+    journal_path,
+)
+
+SEED = 2023
+N_LOOKUPS = 500
+
+
+def _phenomes(n: int) -> list[dict]:
+    decoder = DeepMDRepresentation.decoder()
+    rng = np.random.default_rng(SEED)
+    ranges = DeepMDRepresentation.init_ranges
+    genomes = rng.uniform(ranges[:, 0], ranges[:, 1], size=(n, len(ranges)))
+    return [decoder.decode(g) for g in genomes]
+
+
+def _warm_cache(directory) -> tuple[EvaluationCache, list[str]]:
+    """Evaluate N random phenomes into a cache (failures included, so
+    every key is a guaranteed hit)."""
+    from repro.exceptions import EvaluationError
+
+    cache = EvaluationCache(directory, cache_failures=True)
+    problem = CachedProblem(SurrogateDeepMDProblem(seed=SEED), cache)
+    phenomes = _phenomes(N_LOOKUPS)
+    keys = [problem.cache_key(p) for p in phenomes]
+    for phenome in phenomes:
+        try:
+            problem.evaluate_with_metadata(phenome)
+        except EvaluationError:
+            pass  # memoized as a failure — still a cacheable result
+    return cache, keys
+
+
+def test_cache_hit_warm_index(benchmark, tmp_path):
+    cache, keys = _warm_cache(tmp_path)
+
+    def hit_all() -> int:
+        return sum(1 for k in keys if cache.lookup(k) is not None)
+
+    assert benchmark(hit_all) == N_LOOKUPS
+
+
+def test_cache_hit_cold_index(benchmark, tmp_path):
+    _, keys = _warm_cache(tmp_path)
+
+    def disk_hit_all() -> int:
+        cold = EvaluationCache(tmp_path)  # fresh index: all disk reads
+        return sum(1 for k in keys if cold.lookup(k) is not None)
+
+    assert benchmark(disk_hit_all) == N_LOOKUPS
+
+
+def test_journal_append_generation(benchmark, tmp_path):
+    config = CampaignConfig(
+        n_runs=1, pop_size=20, generations=2, base_seed=SEED
+    )
+    journal = CampaignJournal(
+        journal_path(tmp_path), problem_spec={"backend": "surrogate"}
+    )
+
+    def run_journaled():
+        return Campaign(
+            lambda s: SurrogateDeepMDProblem(seed=s),
+            config,
+            journal=journal,
+        ).run()
+
+    result = once(benchmark, run_journaled)
+    journal.close()
+    assert result.n_trainings == 20 * 3
+
+
+def test_campaign_rerun_over_warm_cache(benchmark, tmp_path):
+    """A fully warmed cache turns the campaign into pure replay."""
+    cache = EvaluationCache(tmp_path)
+    config = CampaignConfig(
+        n_runs=2, pop_size=20, generations=3, base_seed=SEED
+    )
+    factory = lambda s: CachedProblem(  # noqa: E731
+        SurrogateDeepMDProblem(seed=s), cache
+    )
+    cold = Campaign(factory, config).run()
+
+    warm = once(benchmark, lambda: Campaign(factory, config).run())
+    assert warm.n_trainings == cold.n_trainings
+    stats = cache.stats()
+    # deterministic EA: the rerun asked for exactly the same phenomes
+    assert stats["hits"] >= warm.n_trainings

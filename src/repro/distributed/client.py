@@ -23,6 +23,13 @@ class Client:
     ``map`` fan-outs and ``gather`` waits are traced (on the
     scheduler's tracer) so a campaign trace shows how long the EA loop
     blocked on each generation's evaluations.
+
+    When an item is an individual whose problem carries an evaluation
+    cache (:class:`repro.store.cache.EvaluationCache` via a ``cache``
+    attribute plus a ``cache_key`` method), ``map`` resolves cached
+    evaluations inline instead of submitting them — a cache hit never
+    crosses the scheduler queue, occupies a worker, or waits behind a
+    2-hour training.
     """
 
     def __init__(self, scheduler: Scheduler) -> None:
@@ -33,12 +40,43 @@ class Client:
     ) -> Future:
         return self.scheduler.submit(fn, *args, **kwargs)
 
+    def _cached_future(
+        self, fn: Callable[[Any], Any], item: Any
+    ) -> Optional[Future]:
+        """A pre-resolved future for a cache-hit item (None = submit)."""
+        problem = getattr(item, "problem", None)
+        cache = getattr(problem, "cache", None)
+        key_fn = getattr(problem, "cache_key", None)
+        if cache is None or key_fn is None:
+            return None
+        try:
+            if not cache.contains(key_fn(item.decode())):
+                return None
+        except Exception:  # noqa: BLE001 - undecodable: submit normally
+            return None
+        future = Future(f"cached-{getattr(item, 'uuid', id(item))}")
+        try:
+            # hits the cache inside the problem; no training runs
+            future.set_result(fn(item))
+        except Exception as exc:  # noqa: BLE001
+            future.set_exception(exc)
+        self.scheduler.task_cached(future.key)
+        return future
+
     def map(
         self, fn: Callable[[Any], Any], items: Iterable[Any]
     ) -> list[Future]:
         with self.scheduler.tracer.span("client.map") as span:
-            futures = [self.scheduler.submit(fn, item) for item in items]
-            span.tag(n_tasks=len(futures))
+            futures = []
+            n_cached = 0
+            for item in items:
+                future = self._cached_future(fn, item)
+                if future is not None:
+                    n_cached += 1
+                else:
+                    future = self.scheduler.submit(fn, item)
+                futures.append(future)
+            span.tag(n_tasks=len(futures), n_cached=n_cached)
         return futures
 
     def gather(

@@ -104,6 +104,9 @@ class Scheduler:
         self._c_reassigned = self.metrics.counter(
             "scheduler_reassignments_total"
         )
+        self._c_cached = self.metrics.counter(
+            "scheduler_tasks_cached_total"
+        )
         self._g_workers = self.metrics.gauge("scheduler_workers")
         self._h_queue_wait = self.metrics.histogram(
             "scheduler_task_queue_wait_seconds"
@@ -133,6 +136,18 @@ class Scheduler:
     @property
     def reassignments(self) -> int:
         return int(self._c_reassigned.value)
+
+    @property
+    def tasks_cached(self) -> int:
+        return int(self._c_cached.value)
+
+    # ------------------------------------------------------------------
+    def task_cached(self, key: str) -> None:
+        """A client resolved ``key`` from the evaluation cache instead
+        of submitting it — account for the skipped task."""
+        self._c_cached.inc()
+        if self._obs:
+            self.tracer.event("task.cached", task=key)
 
     # ------------------------------------------------------------------
     # client-facing
@@ -339,5 +354,6 @@ class Scheduler:
             "completed": self.tasks_completed,
             "failed": self.tasks_failed,
             "reassignments": self.reassignments,
+            "cached": self.tasks_cached,
             "workers": n_workers,
         }

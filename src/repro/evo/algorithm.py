@@ -105,6 +105,31 @@ def _count_failures(individuals: Sequence[Individual]) -> int:
     return sum(1 for ind in individuals if not ind.is_viable)
 
 
+@dataclass
+class ResumeState:
+    """Mid-run EA state reconstructed from a campaign journal.
+
+    ``parents`` is the post-selection population of ``generation``,
+    ``std`` the annealed deviations journaled with it, and ``rng`` a
+    generator restored to the exact post-generation bit-generator
+    state — together they make the continued run bit-identical to an
+    uninterrupted one.
+    """
+
+    parents: list[Individual]
+    generation: int
+    std: np.ndarray
+    rng: np.random.Generator
+
+
+def _capture_rng_state(rng: np.random.Generator) -> Any:
+    """JSON-able bit-generator state (None for exotic generators)."""
+    try:
+        return rng.bit_generator.state
+    except AttributeError:  # pragma: no cover - non-numpy generator
+        return None
+
+
 def generational_nsga2(
     problem: Problem,
     init_ranges: np.ndarray,
@@ -121,6 +146,9 @@ def generational_nsga2(
     context: Optional[Context] = None,
     callback: Optional[Callable[[GenerationRecord], None]] = None,
     tracer: Optional[NullTracer | Tracer] = None,
+    dedup: bool = False,
+    journal: Any = None,
+    resume_from: Optional[ResumeState] = None,
 ) -> list[GenerationRecord]:
     """Run one NSGA-II deployment; returns one record per generation.
 
@@ -133,38 +161,62 @@ def generational_nsga2(
     Each generation runs inside an ``ea.generation`` span on ``tracer``
     (default: the process-wide tracer), which parents the in-process
     evaluation spans and frames the distributed ones.
+
+    ``dedup`` collapses genome-identical offspring to one evaluation
+    per generation; ``journal`` (a
+    :class:`repro.store.journal.CampaignJournal`, duck-typed) receives
+    each generation record plus the post-generation RNG state before
+    the generation commits; ``resume_from`` continues a journaled run
+    mid-stream — the returned list then holds only the *new*
+    generations (the caller already has the restored prefix).
     """
-    gen_rng = ensure_rng(rng)
     trc = tracer if tracer is not None else get_tracer()
     ctx = context if context is not None else Context()
-    schedule = AnnealingSchedule(
-        initial_std, factor=anneal_factor, context=ctx
-    )
-    with trc.span("ea.generation", generation=0) as span:
-        parents = random_initial_population(
-            pop_size,
-            init_ranges,
-            problem,
-            decoder=decoder,
-            individual_cls=individual_cls,
-            rng=gen_rng,
+    if resume_from is not None:
+        gen_rng = resume_from.rng
+        schedule = AnnealingSchedule(
+            resume_from.std, factor=anneal_factor, context=ctx
         )
-        parents = ops.eval_pool(client=client, size=len(parents))(
-            iter(parents)
+        parents = list(resume_from.parents)
+        records: list[GenerationRecord] = []
+        start_generation = resume_from.generation + 1
+    else:
+        gen_rng = ensure_rng(rng)
+        schedule = AnnealingSchedule(
+            initial_std, factor=anneal_factor, context=ctx
         )
-        records = [
-            GenerationRecord(
-                generation=0,
-                population=list(parents),
-                evaluated=list(parents),
-                std=schedule.current.copy(),
-                n_failures=_count_failures(parents),
+        with trc.span("ea.generation", generation=0) as span:
+            parents = random_initial_population(
+                pop_size,
+                init_ranges,
+                problem,
+                decoder=decoder,
+                individual_cls=individual_cls,
+                rng=gen_rng,
             )
-        ]
-        span.tag(evaluated=len(parents), failures=records[0].n_failures)
-    if callback is not None:
-        callback(records[0])
-    for generation in range(1, generations + 1):
+            parents = ops.eval_pool(
+                client=client, size=len(parents), dedup=dedup
+            )(iter(parents))
+            records = [
+                GenerationRecord(
+                    generation=0,
+                    population=list(parents),
+                    evaluated=list(parents),
+                    std=schedule.current.copy(),
+                    n_failures=_count_failures(parents),
+                )
+            ]
+            span.tag(
+                evaluated=len(parents), failures=records[0].n_failures
+            )
+        if journal is not None:
+            journal.append_generation(
+                records[0], rng_state=_capture_rng_state(gen_rng)
+            )
+        if callback is not None:
+            callback(records[0])
+        start_generation = 1
+    for generation in range(start_generation, generations + 1):
         with trc.span("ea.generation", generation=generation) as span:
             offspring = ops.pipe(
                 parents,
@@ -176,7 +228,9 @@ def generational_nsga2(
                     hard_bounds=hard_bounds,
                     rng=gen_rng,
                 ),
-                ops.eval_pool(client=client, size=len(parents)),
+                ops.eval_pool(
+                    client=client, size=len(parents), dedup=dedup
+                ),
             )
             combined = rank_ordinal_sort_op(
                 parents=parents, algorithm=sort_algorithm
@@ -193,8 +247,14 @@ def generational_nsga2(
                 std=schedule.current.copy(),
                 n_failures=_count_failures(offspring),
             )
-            records.append(record)
             span.tag(evaluated=len(offspring), failures=record.n_failures)
+        # write-ahead: the journal persists the generation (with the
+        # post-generation RNG state) before it is committed in memory
+        if journal is not None:
+            journal.append_generation(
+                record, rng_state=_capture_rng_state(gen_rng)
+            )
+        records.append(record)
         if callback is not None:
             callback(record)
     return records

@@ -131,4 +131,11 @@ class RobustIndividual(Individual):
             # evaluators may attach partial metadata (e.g. the short
             # runtime of an aborted training) to the exception
             self.metadata.update(getattr(exc, "metadata", {}))
+            # a MAXINT fitness alone is ambiguous downstream (a
+            # genuinely terrible-but-finished training looks the same);
+            # the explicit flag disambiguates
+            self.metadata.setdefault("failed", True)
+            self.metadata.setdefault(
+                "failure_cause", f"{type(exc).__name__}: {exc}"
+            )
             return self

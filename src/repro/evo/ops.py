@@ -136,8 +136,22 @@ def _evaluate_individual(ind: Individual) -> Individual:
     return ind.evaluate()
 
 
+def _fan_out_duplicates(groups: Sequence[Sequence[Individual]]) -> None:
+    """Copy each group representative's result onto its duplicates."""
+    for group in groups:
+        rep = group[0]
+        for dup in group[1:]:
+            dup.fitness = (
+                None
+                if rep.fitness is None
+                else np.array(rep.fitness, copy=True)
+            )
+            dup.metadata = dict(rep.metadata)
+            dup.metadata["dedup_of"] = rep.uuid
+
+
 def eval_pool(
-    client: Any = None, size: int = 1
+    client: Any = None, size: int = 1, dedup: bool = False
 ) -> Callable[[Iterable[Individual]], list[Individual]]:
     """Accumulate ``size`` offspring, then evaluate them all.
 
@@ -145,33 +159,53 @@ def eval_pool(
     otherwise ``client.map`` fans the evaluations out to workers and
     gathers the results (the Dask pattern of §2.2.5 — our
     :class:`repro.distributed.Client` implements the same interface).
+
+    ``dedup`` groups genome-identical offspring (exact byte equality),
+    evaluates one representative per group, and fans the shared result
+    back out — duplicates get a copy of the representative's fitness
+    and metadata plus a ``dedup_of`` marker.  One generation of the
+    paper's campaign trains 100 models of up to 2 hours each, so a
+    single duplicate skipped pays for the hashing many times over.
     """
     take = pool(size)
 
     def op(stream: Iterable[Individual]) -> list[Individual]:
         offspring = take(stream)
+        if dedup:
+            by_genome: dict[bytes, list[Individual]] = {}
+            for ind in offspring:
+                by_genome.setdefault(ind.genome.tobytes(), []).append(ind)
+            groups = list(by_genome.values())
+        else:
+            groups = [[ind] for ind in offspring]
+        reps = [group[0] for group in groups]
         if client is None:
-            return [ind.evaluate() for ind in offspring]
-        futures = client.map(_evaluate_individual, offspring)
-        out: list[Individual] = []
-        for ind, future in zip(offspring, futures):
-            try:
-                out.append(future.result())
-            except Exception as exc:  # noqa: BLE001
-                # the worker died (or the task was stranded) before the
-                # individual's own exception handling could run — the
-                # paper's node-failure case: assign MAXINT here
-                from repro.evo.individual import MAXINT
+            for rep in reps:
+                rep.evaluate()
+        else:
+            futures = client.map(_evaluate_individual, reps)
+            for rep, future in zip(reps, futures):
+                try:
+                    evaluated = future.result()
+                    if evaluated is not rep:  # result crossed a copy
+                        rep.fitness = evaluated.fitness
+                        rep.metadata = evaluated.metadata
+                except Exception as exc:  # noqa: BLE001
+                    # the worker died (or the task was stranded) before
+                    # the individual's own exception handling could run
+                    # — the paper's node-failure case: assign MAXINT
+                    from repro.evo.individual import MAXINT
 
-                n_obj = getattr(ind, "n_objectives", None) or (
-                    ind.problem.n_objectives if ind.problem else 1
-                )
-                ind.fitness = np.full(n_obj, MAXINT)
-                ind.metadata["error"] = (
-                    f"{type(exc).__name__}: {exc}"
-                )
-                out.append(ind)
-        return out
+                    n_obj = getattr(rep, "n_objectives", None) or (
+                        rep.problem.n_objectives if rep.problem else 1
+                    )
+                    rep.fitness = np.full(n_obj, MAXINT)
+                    rep.metadata["error"] = (
+                        f"{type(exc).__name__}: {exc}"
+                    )
+                    rep.metadata.setdefault("failed", True)
+        _fan_out_duplicates(groups)
+        return offspring
 
     return op
 

@@ -60,3 +60,8 @@ class WalltimeExceeded(ReproError):
 
 class DecodeError(ReproError):
     """A genome could not be decoded into a phenome."""
+
+
+class StoreError(ReproError):
+    """Durable campaign state is unusable (missing or unreadable
+    journal, irrecoverable resume preconditions)."""

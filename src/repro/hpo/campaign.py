@@ -113,6 +113,12 @@ class Campaign:
     a ``campaign.run`` span, which in turn parents the per-generation
     ``ea.generation`` spans — the top of the trace hierarchy a
     ``repro-hpo trace`` report breaks the wall-clock down by.
+
+    ``journal`` (a :class:`repro.store.journal.CampaignJournal`,
+    duck-typed to avoid a hard dependency) receives the write-ahead
+    stream of campaign/run/generation records as the campaign runs, so
+    a killed campaign can be continued with
+    :func:`repro.store.resume.resume_campaign`.
     """
 
     def __init__(
@@ -121,11 +127,13 @@ class Campaign:
         config: Optional[CampaignConfig] = None,
         client: Any = None,
         tracer: Optional[NullTracer | Tracer] = None,
+        journal: Any = None,
     ) -> None:
         self.problem_factory = problem_factory
         self.config = config or CampaignConfig()
         self.client = client
         self.tracer = tracer if tracer is not None else get_tracer()
+        self.journal = journal
 
     def run(
         self,
@@ -140,6 +148,8 @@ class Campaign:
             generations=self.config.generations,
             seed=self.config.base_seed,
         )
+        if self.journal is not None:
+            self.journal.begin_campaign(self.config)
         for run_index, seed in enumerate(seeds):
             problem = self.problem_factory(seed)
             cb = (
@@ -147,6 +157,8 @@ class Campaign:
                 if callback is not None
                 else None
             )
+            if self.journal is not None:
+                self.journal.begin_run(run_index, int(seed))
             with self.tracer.span(
                 "campaign.run", run=run_index, seed=int(seed)
             ):
@@ -157,6 +169,11 @@ class Campaign:
                     rng=seed,
                     callback=cb,
                     tracer=self.tracer,
+                    journal=self.journal,
                 )
             result.runs.append(records)
+            if self.journal is not None:
+                self.journal.end_run(run_index)
+        if self.journal is not None:
+            self.journal.end_campaign()
         return result

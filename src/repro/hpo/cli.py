@@ -8,51 +8,92 @@ from __future__ import annotations
 
 import argparse
 import sys
+from typing import Any
 
 
-def _cmd_campaign(args: argparse.Namespace) -> int:
-    import numpy as np
+class _KillAfterEvaluations:
+    """Test/CI harness: hard-kill the process after N evaluations.
 
+    Wraps a problem (outside its :class:`~repro.store.cache.CachedProblem`
+    layer, so the Nth result is already persisted) and calls
+    ``os._exit(137)`` once ``limit`` evaluations have *finished* —
+    simulating a SIGKILL mid-generation for crash-resume smoke tests.
+    Failed evaluations count too (they also hit the cache/journal
+    machinery being exercised).
+    """
+
+    def __init__(self, problem: Any, limit: int) -> None:
+        self.problem = problem
+        self.n_objectives = problem.n_objectives
+        self.limit = int(limit)
+        self._done = 0
+
+    def __getattr__(self, name: str) -> Any:
+        try:
+            inner = self.__dict__["problem"]
+        except KeyError:
+            raise AttributeError(name) from None
+        return getattr(inner, name)
+
+    def _count(self) -> None:
+        self._done += 1
+        if self._done >= self.limit:
+            import os
+
+            sys.stderr.write(
+                f"kill-after-evals: {self._done} evaluations done, "
+                "exiting 137\n"
+            )
+            sys.stderr.flush()
+            os._exit(137)
+
+    def evaluate_with_metadata(self, phenome, uuid=None):
+        try:
+            return self.problem.evaluate_with_metadata(phenome, uuid=uuid)
+        finally:
+            self._count()
+
+    def evaluate(self, phenome):
+        try:
+            return self.problem.evaluate(phenome)
+        finally:
+            self._count()
+
+
+def _open_cache(args: argparse.Namespace, directory: Any = None):
+    """The evaluation cache for this invocation, or None.
+
+    Explicit ``--cache-dir`` wins; otherwise a campaign directory
+    (``--save`` / the resume dir) hosts the cache at ``<dir>/cache``;
+    ``--no-cache`` disables caching entirely.
+    """
+    if getattr(args, "no_cache", False):
+        return None
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir is None and directory is not None:
+        from pathlib import Path
+
+        cache_dir = Path(directory) / "cache"
+    if cache_dir is None:
+        return None
+    from repro.store import EvaluationCache
+
+    return EvaluationCache(
+        cache_dir,
+        cache_failures=getattr(args, "cache_failures", False),
+    )
+
+
+def _print_report(result, plot: bool, export_csv: str | None) -> None:
+    """The §3 tables (and optional figures) for a campaign result —
+    shared by ``campaign`` and ``resume``."""
     from repro.analysis import (
         format_table,
         frontier_table,
         generation_level_plots,
         table3_rows,
     )
-    from repro.hpo.campaign import Campaign, CampaignConfig
-    from repro.hpo.landscape import SurrogateDeepMDProblem
 
-    from repro.obs import NULL_TRACER, Tracer, use_tracer
-
-    config = CampaignConfig(
-        n_runs=args.runs,
-        pop_size=args.pop_size,
-        generations=args.generations,
-        base_seed=args.seed,
-    )
-    tracer = Tracer(args.trace) if args.trace else NULL_TRACER
-    if args.backend == "surrogate":
-        factory = lambda seed: SurrogateDeepMDProblem(seed=seed)  # noqa: E731
-    else:
-        from repro.hpo.evaluator import DeepMDProblem, EvaluatorSettings
-        from repro.md.dataset import generate_dataset
-
-        dataset = generate_dataset(
-            n_frames=args.frames, rng=args.seed
-        )
-        settings = EvaluatorSettings(numb_steps=args.steps)
-        shared = DeepMDProblem(dataset, settings=settings)
-        factory = lambda seed: shared  # noqa: E731
-    with use_tracer(tracer):
-        campaign = Campaign(factory, config, tracer=tracer)
-        result = campaign.run()
-    if args.trace:
-        tracer.close()
-        print(
-            f"trace written to {args.trace} "
-            f"(campaign {tracer.campaign_id}); render it with: "
-            f"repro-hpo trace {args.trace}"
-        )
     print(f"total trainings: {result.n_trainings}")
     print(f"failures by generation: {result.failures_by_generation()}")
     print()
@@ -74,7 +115,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     print()
     rows = [r.as_dict() for r in table3_rows(result)]
     print(format_table(rows, title="Table 3 — selected solutions"))
-    if args.plot:
+    if plot:
         from repro.analysis import ascii_scatter
 
         final = [
@@ -94,12 +135,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 y_label="force loss (eV/A)",
             )
         )
-    if args.save:
-        from repro.io import save_campaign
-
-        save_campaign(result, args.save)
-        print(f"\ncampaign saved to {args.save}")
-    if args.export_csv:
+    if export_csv:
         from pathlib import Path
 
         from repro.io import (
@@ -108,12 +144,121 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             export_parallel_coordinates_csv,
         )
 
-        out = Path(args.export_csv)
+        out = Path(export_csv)
         out.mkdir(parents=True, exist_ok=True)
         export_level_plot_csv(result, out / "fig1_levels.csv")
         export_frontier_csv(result, out / "fig2_frontier.csv")
         export_parallel_coordinates_csv(result, out / "fig3_parallel.csv")
         print(f"figure data exported to {out}")
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.hpo.campaign import Campaign, CampaignConfig
+    from repro.hpo.landscape import SurrogateDeepMDProblem
+    from repro.obs import NULL_TRACER, Tracer, use_tracer
+
+    config = CampaignConfig(
+        n_runs=args.runs,
+        pop_size=args.pop_size,
+        generations=args.generations,
+        base_seed=args.seed,
+    )
+    tracer = Tracer(args.trace) if args.trace else NULL_TRACER
+    if args.backend == "surrogate":
+        base_factory = lambda seed: SurrogateDeepMDProblem(seed=seed)  # noqa: E731
+        problem_spec = {"backend": "surrogate"}
+    else:
+        from repro.hpo.evaluator import DeepMDProblem, EvaluatorSettings
+        from repro.md.dataset import generate_dataset
+
+        dataset = generate_dataset(
+            n_frames=args.frames, rng=args.seed
+        )
+        settings = EvaluatorSettings(numb_steps=args.steps)
+        shared = DeepMDProblem(dataset, settings=settings)
+        base_factory = lambda seed: shared  # noqa: E731
+        problem_spec = {
+            "backend": "real",
+            "frames": args.frames,
+            "seed": args.seed,
+            "steps": args.steps,
+        }
+    cache = _open_cache(args, directory=args.save)
+    factory = base_factory
+    if cache is not None:
+        from repro.store import CachedProblem
+
+        factory = lambda seed: CachedProblem(base_factory(seed), cache)  # noqa: E731
+    if args.kill_after_evals:
+        inner_factory = factory
+        factory = lambda seed: _KillAfterEvaluations(  # noqa: E731
+            inner_factory(seed), args.kill_after_evals
+        )
+    journal = None
+    if args.save:
+        from pathlib import Path
+
+        from repro.store import CampaignJournal, journal_path
+
+        Path(args.save).mkdir(parents=True, exist_ok=True)
+        journal = CampaignJournal(
+            journal_path(args.save), problem_spec=problem_spec
+        )
+    try:
+        with use_tracer(tracer):
+            campaign = Campaign(
+                factory, config, tracer=tracer, journal=journal
+            )
+            result = campaign.run()
+    finally:
+        if journal is not None:
+            journal.close()
+    if args.trace:
+        tracer.close()
+        print(
+            f"trace written to {args.trace} "
+            f"(campaign {tracer.campaign_id}); render it with: "
+            f"repro-hpo trace {args.trace}"
+        )
+    if cache is not None:
+        print(f"evaluation cache: {cache.stats()}")
+    _print_report(result, args.plot, args.export_csv)
+    if args.save:
+        from repro.io import save_campaign
+
+        save_campaign(result, args.save)
+        print(f"\ncampaign saved to {args.save}")
+    return 0
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.exceptions import StoreError
+    from repro.obs import NULL_TRACER, Tracer, use_tracer
+    from repro.store import resume_campaign
+
+    directory = Path(args.directory)
+    cache = _open_cache(args, directory=directory)
+    tracer = Tracer(args.trace) if args.trace else NULL_TRACER
+    try:
+        with use_tracer(tracer):
+            result = resume_campaign(
+                directory, cache=cache, tracer=tracer
+            )
+    except StoreError as exc:
+        print(f"cannot resume: {exc}", file=sys.stderr)
+        return 1
+    if args.trace:
+        tracer.close()
+        print(f"trace written to {args.trace}")
+    if cache is not None:
+        print(f"evaluation cache: {cache.stats()}")
+    _print_report(result, args.plot, args.export_csv)
+    from repro.io import save_campaign
+
+    save_campaign(result, directory)
+    print(f"\ncampaign snapshot refreshed in {directory}")
     return 0
 
 
@@ -206,6 +351,30 @@ def _cmd_nas(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=(
+            "evaluation-cache directory (default: <save-dir>/cache "
+            "when --save / resuming, else no cache)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the evaluation cache entirely",
+    )
+    parser.add_argument(
+        "--cache-failures",
+        action="store_true",
+        help=(
+            "also memoize failed evaluations (default: failures are "
+            "re-run, in case they were environmental)"
+        ),
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-hpo",
@@ -231,7 +400,13 @@ def main(argv: list[str] | None = None) -> int:
         "--plot", action="store_true", help="render the Fig. 2 scatter"
     )
     p.add_argument(
-        "--save", default=None, help="persist the campaign to a directory"
+        "--save",
+        default=None,
+        help=(
+            "persist the campaign to a directory (also write-ahead "
+            "journals there, making the campaign resumable with "
+            "'repro-hpo resume')"
+        ),
     )
     p.add_argument(
         "--export-csv", default=None, help="export figure data as CSV"
@@ -241,7 +416,42 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="capture a span/event trace to this JSONL file",
     )
+    _add_cache_flags(p)
+    p.add_argument(
+        "--kill-after-evals",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "testing: hard-exit (137) after N finished evaluations, "
+            "simulating a mid-generation crash"
+        ),
+    )
     p.set_defaults(func=_cmd_campaign)
+
+    p_resume = sub.add_parser(
+        "resume",
+        help=(
+            "continue a killed campaign from its directory (journal + "
+            "evaluation cache), bit-identically"
+        ),
+    )
+    p_resume.add_argument(
+        "directory", help="campaign directory written by --save"
+    )
+    p_resume.add_argument(
+        "--plot", action="store_true", help="render the Fig. 2 scatter"
+    )
+    p_resume.add_argument(
+        "--export-csv", default=None, help="export figure data as CSV"
+    )
+    p_resume.add_argument(
+        "--trace",
+        default=None,
+        help="capture a span/event trace to this JSONL file",
+    )
+    _add_cache_flags(p_resume)
+    p_resume.set_defaults(func=_cmd_resume)
 
     p_trace = sub.add_parser(
         "trace",

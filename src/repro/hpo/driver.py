@@ -25,12 +25,19 @@ from repro.rng import RngLike
 @dataclass
 class NSGA2Settings:
     """Run-scale knobs (paper values: pop 100 = one per Summit node,
-    6 EA steps after the random generation, anneal 0.85)."""
+    6 EA steps after the random generation, anneal 0.85).
+
+    ``dedup_within_generation`` collapses genome-identical offspring to
+    a single training per generation; duplicates receive a copy of the
+    shared result.  For deterministic evaluators this changes nothing
+    but the training count.
+    """
 
     pop_size: int = 100
     generations: int = 6
     anneal_factor: float = 0.85
     sort_algorithm: str = "rank_ordinal"
+    dedup_within_generation: bool = True
 
 
 def run_deepmd_nsga2(
@@ -40,12 +47,16 @@ def run_deepmd_nsga2(
     rng: RngLike = None,
     callback: Optional[Callable[[GenerationRecord], None]] = None,
     tracer: Any = None,
+    journal: Any = None,
+    resume_from: Any = None,
 ) -> list[GenerationRecord]:
     """One EA deployment over the DeePMD hyperparameter space.
 
     ``problem`` is either the real :class:`DeepMDProblem` or the
     surrogate :class:`SurrogateDeepMDProblem`; both consume the decoded
-    seven-gene phenome dict.
+    seven-gene phenome dict.  ``journal``/``resume_from`` are the
+    durable-state hooks of :mod:`repro.store` (see
+    :func:`repro.evo.algorithm.generational_nsga2`).
     """
     settings = settings or NSGA2Settings()
     rep = DeepMDRepresentation
@@ -65,4 +76,7 @@ def run_deepmd_nsga2(
         context=Context(),
         callback=callback,
         tracer=tracer,
+        dedup=settings.dedup_within_generation,
+        journal=journal,
+        resume_from=resume_from,
     )

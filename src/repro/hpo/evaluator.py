@@ -64,6 +64,11 @@ class DeepMDProblem(Problem):
         directory by default.
     settings:
         The fixed (non-searched) training envelope.
+    cache:
+        Optional :class:`repro.store.cache.EvaluationCache`; when set,
+        evaluations are looked up before :func:`run_training` and
+        inserted after, keyed by (phenome, dataset content hash,
+        settings) — see :meth:`cache_fingerprint`.
     """
 
     n_objectives = 2
@@ -73,15 +78,42 @@ class DeepMDProblem(Problem):
         dataset: FrameDataset,
         base_dir: Optional[str | Path] = None,
         settings: Optional[EvaluatorSettings] = None,
+        cache: Any = None,
     ) -> None:
         self.dataset = dataset
         self.settings = settings or EvaluatorSettings()
+        self.cache = cache
+        self._dataset_id: Optional[str] = None
         if base_dir is None:
             self._tmp = tempfile.TemporaryDirectory(prefix="repro-hpo-")
             self.base_dir = Path(self._tmp.name)
         else:
             self.base_dir = Path(base_dir)
             self.base_dir.mkdir(parents=True, exist_ok=True)
+
+    def cache_fingerprint(self) -> dict[str, Any]:
+        """What, besides the phenome, determines an evaluation result.
+
+        Any change here — different frames, a different step count or
+        time limit, different fixed network shapes — yields different
+        cache keys, so stale entries can never be served.
+        """
+        from dataclasses import asdict
+
+        from repro.store.cache import dataset_fingerprint
+
+        if self._dataset_id is None:
+            self._dataset_id = dataset_fingerprint(self.dataset)
+        return {
+            "problem": "deepmd",
+            "dataset": self._dataset_id,
+            "settings": asdict(self.settings),
+        }
+
+    def cache_key(self, phenome: dict[str, Any]) -> str:
+        from repro.store.cache import evaluation_key
+
+        return evaluation_key(phenome, self.cache_fingerprint())
 
     def _template_variables(
         self, phenome: dict[str, Any]
@@ -108,21 +140,65 @@ class DeepMDProblem(Problem):
     def evaluate_with_metadata(
         self, phenome: dict[str, Any], uuid: Optional[str] = None
     ) -> tuple[np.ndarray, dict[str, Any]]:
-        """Run the full workflow; returns fitness and runtime metadata."""
-        run = run_training(
-            base_dir=self.base_dir,
-            variables=self._template_variables(phenome),
-            dataset=self.dataset,
-            time_limit=self.settings.time_limit,
-            mode=self.settings.mode,
-            run_uuid=uuid,
-        )
+        """Run the full workflow; returns fitness and runtime metadata.
+
+        The metadata always carries an explicit ``failed`` flag: False
+        on the returned dict, True (with a ``failure_cause``) on the
+        metadata attached to any escaping exception — so MAXINT-fitness
+        runs are distinguishable from legitimately bad ones downstream.
+        """
+        if self.cache is not None:
+            key = self.cache_key(phenome)
+            entry = self.cache.lookup(key)
+            if entry is not None:
+                if entry.failed:
+                    from repro.store.cache import CachedFailure
+
+                    raise CachedFailure(
+                        entry.error or "memoized evaluation failure",
+                        metadata={**entry.metadata, "cache_hit": True},
+                    )
+                return entry.fitness_array(), {
+                    **entry.metadata,
+                    "cache_hit": True,
+                }
+        try:
+            run = run_training(
+                base_dir=self.base_dir,
+                variables=self._template_variables(phenome),
+                dataset=self.dataset,
+                time_limit=self.settings.time_limit,
+                mode=self.settings.mode,
+                run_uuid=uuid,
+            )
+        except Exception as exc:
+            meta = dict(getattr(exc, "metadata", None) or {})
+            meta.setdefault("phenome", dict(phenome))
+            meta.setdefault("failed", True)
+            meta.setdefault(
+                "failure_cause", f"{type(exc).__name__}: {exc}"
+            )
+            exc.metadata = meta  # type: ignore[attr-defined]
+            if self.cache is not None:
+                from repro.evo.individual import MAXINT
+
+                self.cache.insert(
+                    key,
+                    np.full(self.n_objectives, MAXINT),
+                    metadata=meta,
+                    failed=True,
+                    error=meta["failure_cause"],
+                )
+            raise
         fitness = np.array([run.rmse_e_val, run.rmse_f_val])
         metadata = {
             "runtime_minutes": run.wall_time / 60.0,
             "workdir": str(run.workdir),
             "phenome": dict(phenome),
+            "failed": False,
         }
+        if self.cache is not None:
+            self.cache.insert(key, fitness, metadata=metadata)
         return fitness, metadata
 
     def evaluate(self, phenome: dict[str, Any]) -> np.ndarray:

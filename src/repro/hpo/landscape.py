@@ -148,6 +148,20 @@ class SurrogateDeepMDProblem(Problem):
         self.evaluations = 0
         self.failures = 0
 
+    def cache_fingerprint(self) -> dict[str, Any]:
+        """Identity for the evaluation cache: the surface is fully
+        determined by the calibration constants, the worker count, and
+        the problem seed (which seeds the per-phenome noise)."""
+        from dataclasses import asdict
+
+        return {
+            "problem": "surrogate",
+            "seed": self.seed,
+            "n_workers": self.n_workers,
+            "simulate_runtime": self.simulate_runtime,
+            "calibration": asdict(self.calibration),
+        }
+
     # ------------------------------------------------------------------
     def _eval_rng(self, phenome: dict[str, Any]) -> np.random.Generator:
         """Per-evaluation RNG: hash of the phenome plus the problem seed.
@@ -285,6 +299,8 @@ class SurrogateDeepMDProblem(Problem):
             # attach the runtime so RobustIndividual can record it
             exc.metadata = {  # type: ignore[attr-defined]
                 "phenome": dict(phenome),
+                "failed": True,
+                "failure_cause": f"{type(exc).__name__}: {exc}",
                 "runtime_minutes": (
                     self._sample_runtime(phenome, rng, failed=True)
                     if self.simulate_runtime
@@ -299,7 +315,10 @@ class SurrogateDeepMDProblem(Problem):
         force *= float(
             np.exp(rng.normal(0.0, c.force_noise) - c.balance_noise_force * z)
         )
-        metadata: dict[str, Any] = {"phenome": dict(phenome)}
+        metadata: dict[str, Any] = {
+            "phenome": dict(phenome),
+            "failed": False,
+        }
         if self.simulate_runtime:
             metadata["runtime_minutes"] = self._sample_runtime(
                 phenome, rng, failed=False

@@ -10,7 +10,9 @@ evolution — re-attaching a problem is a one-liner if needed).
 
 from __future__ import annotations
 
+import dataclasses
 import json
+import warnings
 from pathlib import Path
 from typing import Any
 
@@ -19,6 +21,13 @@ import numpy as np
 from repro.evo.algorithm import GenerationRecord
 from repro.evo.individual import RobustIndividual
 from repro.hpo.campaign import CampaignConfig, CampaignResult
+
+#: bumped when the on-disk layout changes; loaders warn (rather than
+#: crash) on documents written by a newer version
+SCHEMA_VERSION = 2
+
+#: top-level campaign.json keys this version knows how to read
+_KNOWN_KEYS = {"schema_version", "config", "runs"}
 
 
 def _json_safe(value: Any) -> Any:
@@ -39,6 +48,7 @@ def save_campaign(result: CampaignResult, directory: str | Path) -> None:
     directory.mkdir(parents=True, exist_ok=True)
     arrays: dict[str, np.ndarray] = {}
     doc: dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
         "config": {
             "n_runs": result.config.n_runs,
             "pop_size": result.config.pop_size,
@@ -109,11 +119,42 @@ def _restore_group(
 
 
 def load_campaign(directory: str | Path) -> CampaignResult:
-    """Inverse of :func:`save_campaign`."""
+    """Inverse of :func:`save_campaign`.
+
+    Tolerant of documents written by other schema versions: unknown
+    top-level and config fields produce a warning and are ignored, so
+    an analysis environment running this version can still read
+    snapshots written by a newer one.
+    """
     directory = Path(directory)
     doc = json.loads((directory / "campaign.json").read_text())
+    version = doc.get("schema_version", 1)
+    if version > SCHEMA_VERSION:
+        warnings.warn(
+            f"campaign.json schema_version {version} is newer than "
+            f"supported version {SCHEMA_VERSION}; loading best-effort",
+            stacklevel=2,
+        )
+    unknown = set(doc) - _KNOWN_KEYS
+    if unknown:
+        warnings.warn(
+            "ignoring unknown campaign.json fields: "
+            + ", ".join(sorted(unknown)),
+            stacklevel=2,
+        )
     arrays = np.load(directory / "arrays.npz")
-    config = CampaignConfig(**doc["config"])
+    known_config = {f.name for f in dataclasses.fields(CampaignConfig)}
+    config_doc = doc["config"]
+    unknown_config = set(config_doc) - known_config
+    if unknown_config:
+        warnings.warn(
+            "ignoring unknown campaign config fields: "
+            + ", ".join(sorted(unknown_config)),
+            stacklevel=2,
+        )
+    config = CampaignConfig(
+        **{k: v for k, v in config_doc.items() if k in known_config}
+    )
     result = CampaignResult(config=config)
     for r, run_doc in enumerate(doc["runs"]):
         run: list[GenerationRecord] = []

@@ -1,0 +1,441 @@
+"""Content-addressed evaluation cache.
+
+One paper-scale campaign is ~3500 trainings of 2 GPU-hours each, and
+annealed Gaussian mutation (plus five independent runs over the same
+search space) re-visits hyperparameter combinations routinely.  The
+cache memoizes finished evaluations on disk, keyed by a canonical hash
+of *what determines the result*: the decoded phenome, the dataset
+identity, and the fixed evaluator settings.  Anything else — UUIDs,
+work directories, wall-clock — is payload, not key.
+
+Design constraints, in order:
+
+* **Never corrupt, never crash.**  Entries are written to a temp file
+  in the cache directory and ``os.replace``-d into place, so readers
+  only ever see whole entries; loads skip torn or garbage files (and
+  count them) instead of raising.
+* **Failures are not results.**  A diverged training says "this
+  phenome fails *this time*" — background failures are stochastic, and
+  memoizing them would freeze bad luck into the search.  Failed
+  evaluations are therefore not cached unless ``cache_failures`` is
+  set (useful when failures are known-deterministic).
+* **Bounded memory.**  The in-memory index is an LRU of at most
+  ``max_index_entries`` deserialized entries; the disk store is the
+  source of truth and is consulted on index misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import uuid as uuid_module
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.evo.problem import Problem
+from repro.exceptions import EvaluationError
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.trace import get_tracer
+
+#: bumped whenever the entry layout changes; old entries are skipped
+ENTRY_VERSION = 1
+
+
+class CachedFailure(EvaluationError):
+    """Raised on a cache hit of a memoized *failed* evaluation.
+
+    Carries the stored metadata so :class:`~repro.evo.individual.
+    RobustIndividual` records the original failure cause alongside the
+    MAXINT fitness, exactly as a live failure would.
+    """
+
+    def __init__(self, message: str, metadata: Optional[dict] = None) -> None:
+        super().__init__(message)
+        self.metadata = dict(metadata or {})
+
+
+def _canonical(value: Any) -> Any:
+    """Coerce to a JSON-stable form: numpy scalars to Python scalars,
+    tuples to lists, mapping keys to strings."""
+    if isinstance(value, (np.floating, np.integer, np.bool_)):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return [_canonical(v) for v in value.tolist()]
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    return value
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, repr-exact
+    floats (Python's ``json`` emits the shortest round-tripping
+    representation, so float keys are bit-stable)."""
+    return json.dumps(
+        _canonical(value), sort_keys=True, separators=(",", ":"),
+        allow_nan=False,
+    )
+
+
+def evaluation_key(phenome: Any, fingerprint: Any) -> str:
+    """The content address of one evaluation.
+
+    ``fingerprint`` identifies everything outside the phenome that the
+    result depends on (dataset identity + fixed evaluator settings);
+    problems provide it via ``cache_fingerprint()``.
+    """
+    payload = canonical_json({"phenome": phenome, "fingerprint": fingerprint})
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def dataset_fingerprint(dataset: Any) -> str:
+    """Content hash of a :class:`~repro.md.dataset.FrameDataset`.
+
+    Hashes every frame's labels and coordinates in both splits, so any
+    change to the training data invalidates cached evaluations.
+    """
+    h = hashlib.sha256()
+    for split_name in ("train", "validation"):
+        frames = getattr(dataset, split_name, []) or []
+        h.update(split_name.encode())
+        for frame in frames:
+            h.update(np.ascontiguousarray(frame.positions).tobytes())
+            h.update(np.ascontiguousarray(frame.forces).tobytes())
+            h.update(np.float64(frame.energy).tobytes())
+            h.update(np.ascontiguousarray(frame.box).tobytes())
+    return h.hexdigest()[:16]
+
+
+@dataclass
+class CacheEntry:
+    """One memoized evaluation."""
+
+    key: str
+    fitness: list[float] = field(default_factory=list)
+    metadata: dict[str, Any] = field(default_factory=dict)
+    failed: bool = False
+    error: Optional[str] = None
+
+    def fitness_array(self) -> np.ndarray:
+        return np.asarray(self.fitness, dtype=np.float64)
+
+    def to_doc(self) -> dict[str, Any]:
+        return {
+            "version": ENTRY_VERSION,
+            "key": self.key,
+            "fitness": [float(f) for f in self.fitness],
+            "metadata": _canonical(self.metadata),
+            "failed": bool(self.failed),
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_doc(cls, doc: dict[str, Any]) -> "CacheEntry":
+        if not isinstance(doc, dict) or doc.get("version") != ENTRY_VERSION:
+            raise ValueError("unknown cache entry version")
+        if "key" not in doc or "fitness" not in doc:
+            raise ValueError("cache entry missing required fields")
+        return cls(
+            key=str(doc["key"]),
+            fitness=[float(f) for f in doc["fitness"]],
+            metadata=dict(doc.get("metadata") or {}),
+            failed=bool(doc.get("failed", False)),
+            error=doc.get("error"),
+        )
+
+
+class EvaluationCache:
+    """Disk-backed, content-addressed store of finished evaluations.
+
+    Layout: ``directory/<key[:2]>/<key>.json`` (sharded so a 3500-entry
+    campaign doesn't produce one enormous flat directory), plus
+    transient ``*.tmp`` files that are atomically renamed into place.
+
+    Thread-safe: workers evaluate concurrently, and a racing double
+    insert of the same key is harmless (same content, last rename
+    wins).
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        cache_failures: bool = False,
+        max_index_entries: int = 4096,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Any = None,
+    ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.cache_failures = bool(cache_failures)
+        self.max_index_entries = int(max_index_entries)
+        if self.max_index_entries < 1:
+            raise ValueError("max_index_entries must be >= 1")
+        self.tracer = tracer if tracer is not None else get_tracer()
+        self._obs = bool(getattr(self.tracer, "enabled", False))
+        registry = metrics if metrics is not None else get_registry()
+        self._c_hits = registry.counter("store_cache_hits_total")
+        self._c_misses = registry.counter("store_cache_misses_total")
+        self._c_corrupt = registry.counter("store_cache_corrupt_total")
+        self._c_inserts = registry.counter("store_cache_inserts_total")
+        self._c_skipped = registry.counter(
+            "store_cache_skipped_failures_total"
+        )
+        self._lock = threading.Lock()
+        self._index: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        # per-instance stats (the registry counters are process-wide)
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+        self.inserts = 0
+        self.skipped_failures = 0
+
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.json"
+
+    def _index_put(self, key: str, entry: CacheEntry) -> None:
+        with self._lock:
+            self._index[key] = entry
+            self._index.move_to_end(key)
+            while len(self._index) > self.max_index_entries:
+                self._index.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    def contains(self, key: str) -> bool:
+        """Cheap existence probe (no deserialization, no stats)."""
+        with self._lock:
+            if key in self._index:
+                return True
+        return self._path(key).exists()
+
+    def lookup(self, key: str) -> Optional[CacheEntry]:
+        """Return the stored entry, or None on miss *or* corruption.
+
+        A torn/garbage/foreign-version file counts as corrupt, is
+        skipped, and never raises — the evaluation simply re-runs.
+        """
+        with self._lock:
+            entry = self._index.get(key)
+            if entry is not None:
+                self._index.move_to_end(key)
+                self.hits += 1
+        if entry is not None:
+            self._c_hits.inc()
+            if self._obs:
+                self.tracer.event("store.cache.hit", key=key, index=True)
+            return entry
+        path = self._path(key)
+        try:
+            text = path.read_text()
+        except OSError:
+            with self._lock:
+                self.misses += 1
+            self._c_misses.inc()
+            if self._obs:
+                self.tracer.event("store.cache.miss", key=key)
+            return None
+        try:
+            entry = CacheEntry.from_doc(json.loads(text))
+            if entry.key != key:
+                raise ValueError("entry key does not match its address")
+        except (ValueError, TypeError, KeyError):
+            with self._lock:
+                self.corrupt += 1
+                self.misses += 1
+            self._c_corrupt.inc()
+            self._c_misses.inc()
+            if self._obs:
+                self.tracer.event("store.cache.corrupt", key=key)
+            return None
+        with self._lock:
+            self.hits += 1
+        self._c_hits.inc()
+        self._index_put(key, entry)
+        if self._obs:
+            self.tracer.event("store.cache.hit", key=key, index=False)
+        return entry
+
+    def insert(
+        self,
+        key: str,
+        fitness: Any,
+        metadata: Optional[dict[str, Any]] = None,
+        failed: bool = False,
+        error: Optional[str] = None,
+    ) -> bool:
+        """Persist one evaluation; returns False when refused.
+
+        Failed evaluations are refused unless the cache was built with
+        ``cache_failures=True``.  The write is atomic: temp file in the
+        same directory, then ``os.replace``.
+        """
+        if failed and not self.cache_failures:
+            with self._lock:
+                self.skipped_failures += 1
+            self._c_skipped.inc()
+            if self._obs:
+                self.tracer.event("store.cache.skip_failure", key=key)
+            return False
+        fitness_list = [
+            float(f) for f in np.atleast_1d(np.asarray(fitness, float))
+        ]
+        entry = CacheEntry(
+            key=key,
+            fitness=fitness_list,
+            metadata=_strip_nonjson(metadata or {}),
+            failed=failed,
+            error=error,
+        )
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / f".{uuid_module.uuid4().hex}.tmp"
+        try:
+            tmp.write_text(json.dumps(entry.to_doc(), allow_nan=False))
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():  # pragma: no cover - only on write failure
+                tmp.unlink(missing_ok=True)
+        self._index_put(key, entry)
+        with self._lock:
+            self.inserts += 1
+        self._c_inserts.inc()
+        if self._obs:
+            self.tracer.event("store.cache.insert", key=key, failed=failed)
+        return True
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of entries on disk (walks the shard directories)."""
+        return sum(1 for _ in self.directory.glob("??/*.json"))
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "corrupt": self.corrupt,
+                "inserts": self.inserts,
+                "skipped_failures": self.skipped_failures,
+            }
+
+
+def _strip_nonjson(value: Any) -> Any:
+    """Canonicalize metadata for strict JSON: NaN/inf become None."""
+    value = _canonical(value)
+
+    def walk(v: Any) -> Any:
+        if isinstance(v, float) and not np.isfinite(v):
+            return None
+        if isinstance(v, dict):
+            return {k: walk(x) for k, x in v.items()}
+        if isinstance(v, list):
+            return [walk(x) for x in v]
+        return v
+
+    return walk(value)
+
+
+class CachedProblem(Problem):
+    """Wrap any problem with cache lookup-before / insert-after.
+
+    The wrapped problem supplies its identity through
+    ``cache_fingerprint()``; problems without one are fingerprinted by
+    class name only (correct for stateless analytic problems, too
+    coarse for anything data-dependent — implement the method).
+
+    A memoized failure (only present with ``cache_failures``) replays
+    as a :class:`CachedFailure`, which the robust individual converts
+    to MAXINT fitness just like the original exception.
+    """
+
+    def __init__(self, problem: Any, cache: EvaluationCache) -> None:
+        self.problem = problem
+        self.cache = cache
+        self.n_objectives = int(getattr(problem, "n_objectives", 1))
+        if hasattr(problem, "cache_fingerprint"):
+            self._fingerprint = problem.cache_fingerprint()
+        else:
+            cls = type(problem)
+            self._fingerprint = {
+                "problem": f"{cls.__module__}.{cls.__qualname__}"
+            }
+
+    def cache_fingerprint(self) -> Any:
+        return self._fingerprint
+
+    def cache_key(self, phenome: Any) -> str:
+        return evaluation_key(phenome, self._fingerprint)
+
+    def __getattr__(self, name: str) -> Any:
+        # delegate everything else (seed, evaluations, dataset, ...)
+        try:
+            inner = self.__dict__["problem"]
+        except KeyError:  # pragma: no cover - mid-construction access
+            raise AttributeError(name) from None
+        return getattr(inner, name)
+
+    # ------------------------------------------------------------------
+    def evaluate_with_metadata(
+        self, phenome: Any, uuid: Optional[str] = None
+    ) -> tuple[np.ndarray, dict[str, Any]]:
+        key = self.cache_key(phenome)
+        entry = self.cache.lookup(key)
+        if entry is not None:
+            if entry.failed:
+                raise CachedFailure(
+                    entry.error or "memoized evaluation failure",
+                    metadata={**entry.metadata, "cache_hit": True},
+                )
+            return entry.fitness_array(), {
+                **entry.metadata,
+                "cache_hit": True,
+            }
+        try:
+            fitness, metadata = _call_with_metadata(
+                self.problem, phenome, uuid
+            )
+        except Exception as exc:
+            meta = dict(getattr(exc, "metadata", None) or {})
+            meta.setdefault("failed", True)
+            meta.setdefault(
+                "failure_cause", f"{type(exc).__name__}: {exc}"
+            )
+            exc.metadata = meta  # type: ignore[attr-defined]
+            from repro.evo.individual import MAXINT
+
+            self.cache.insert(
+                key,
+                np.full(self.n_objectives, MAXINT),
+                metadata=meta,
+                failed=True,
+                error=meta["failure_cause"],
+            )
+            raise
+        self.cache.insert(
+            key,
+            fitness,
+            metadata=metadata,
+            failed=bool(metadata.get("failed", False)),
+            error=metadata.get("failure_cause"),
+        )
+        return fitness, metadata
+
+    def evaluate(self, phenome: Any) -> np.ndarray:
+        fitness, _ = self.evaluate_with_metadata(phenome)
+        return fitness
+
+
+def _call_with_metadata(
+    problem: Any, phenome: Any, uuid: Optional[str]
+) -> tuple[np.ndarray, dict[str, Any]]:
+    if hasattr(problem, "evaluate_with_metadata"):
+        return problem.evaluate_with_metadata(phenome, uuid=uuid)
+    fitness = problem.evaluate(phenome)
+    return np.atleast_1d(np.asarray(fitness, float)), {}

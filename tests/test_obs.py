@@ -323,6 +323,7 @@ class TestSchedulerLifecycle:
             "completed",
             "failed",
             "reassignments",
+            "cached",
             "workers",
         }
         assert sched.tasks_submitted == 0
