@@ -1,0 +1,56 @@
+"""The unified evaluation engine.
+
+Every optimizer in this package — the paper's generational NSGA-II, the
+asynchronous steady-state variant of §2.2.5, the grid/random/weighted-sum
+baselines, sensitivity screening, and the NAS extension — ultimately does
+the same expensive thing: turn a candidate's phenome into a fitness
+vector by training a model.  Related HPO-for-MLIP work swaps the
+*optimizer* while keeping that evaluation loop fixed (PSO in
+arXiv:2101.00049, ACE tuning in arXiv:2408.00656); this package makes
+the seam explicit.
+
+:class:`EvaluationEngine` owns the full lifecycle of one candidate
+evaluation:
+
+* genome deduplication (batch- or run-scoped);
+* cache probing (any problem exposing ``cache``/``cache_key``, e.g. a
+  :class:`repro.store.cache.CachedProblem`) so a hit never crosses the
+  execution backend or occupies a worker;
+* dispatch through a small :class:`ExecutionBackend` protocol —
+  :class:`InlineBackend` for in-process evaluation or
+  :class:`ClientBackend` for any ``submit``/futures client (our
+  :class:`repro.distributed.Client` or a real Dask client);
+* per-evaluation soft timeouts;
+* the §2.2.4 exception→``MAXINT`` failure policy, in exactly one place;
+* tracer spans, metrics counters, and per-evaluation journal hooks;
+* :class:`EngineStats` so drivers report cache hits and duplicate
+  genomes distinctly from fresh trainings.
+
+Search strategies stay pure control flow on top: they breed candidates
+and rank results, and never touch ``Problem.evaluate`` directly (a
+static-analysis guard test enforces this).
+"""
+
+from repro.engine.backends import (
+    ClientBackend,
+    ExecutionBackend,
+    InlineBackend,
+    ResolvedFuture,
+    as_backend,
+    evaluate_individual,
+)
+from repro.engine.core import EngineStats, EvaluationEngine
+from repro.engine.invoke import call_problem, failure_fitness
+
+__all__ = [
+    "ClientBackend",
+    "EngineStats",
+    "EvaluationEngine",
+    "ExecutionBackend",
+    "InlineBackend",
+    "ResolvedFuture",
+    "as_backend",
+    "call_problem",
+    "evaluate_individual",
+    "failure_fitness",
+]

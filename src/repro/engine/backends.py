@@ -1,0 +1,122 @@
+"""Execution backends: where an evaluation actually runs.
+
+The engine speaks one tiny protocol — ``submit(individual) -> future``
+with ``done()``/``result()`` semantics — so the same driver code runs
+candidates in-process, on the reproduction's thread cluster, or on a
+real Dask deployment (the paper's §2.2.5 setup) without change.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Protocol, runtime_checkable
+
+
+def evaluate_individual(individual: Any) -> Any:
+    """Evaluate one individual in place and return it.
+
+    Module-level (hence picklable) so distributed backends can ship it
+    to workers.  Robust individuals convert their own exceptions to
+    ``MAXINT`` fitness; plain individuals let them propagate to the
+    engine's failure policy.
+    """
+    return individual.evaluate()
+
+
+class FutureLike(Protocol):
+    """The slice of future semantics the engine consumes."""
+
+    def done(self) -> bool: ...
+
+    def result(self, timeout: Optional[float] = None) -> Any: ...
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """Anything that can run one individual's evaluation."""
+
+    #: marker so :func:`as_backend` passes backend instances through
+    is_execution_backend: bool
+
+    def submit(self, individual: Any) -> FutureLike: ...
+
+    def on_cache_hit(self, individual: Any) -> None:
+        """Told when the engine served ``individual`` from the cache
+        instead of submitting it (for backend-side accounting)."""
+
+
+class ResolvedFuture:
+    """A future for work that finished at submit time."""
+
+    def __init__(
+        self,
+        result: Any = None,
+        exception: Optional[BaseException] = None,
+    ) -> None:
+        self._result = result
+        self._exception = exception
+
+    def done(self) -> bool:
+        return True
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        if self._exception is not None:
+            raise self._exception
+        return self._result
+
+
+class InlineBackend:
+    """Evaluate synchronously in the calling process.
+
+    ``submit`` runs the evaluation eagerly and returns an
+    already-resolved future, so batch and streaming engine modes behave
+    identically with or without a cluster.
+    """
+
+    is_execution_backend = True
+
+    def submit(self, individual: Any) -> ResolvedFuture:
+        try:
+            return ResolvedFuture(result=evaluate_individual(individual))
+        except Exception as exc:  # noqa: BLE001 - engine owns the policy
+            return ResolvedFuture(exception=exc)
+
+    def on_cache_hit(self, individual: Any) -> None:
+        pass
+
+
+class ClientBackend:
+    """Fan evaluations out through a ``submit``-style client.
+
+    Works with :class:`repro.distributed.Client` and anything
+    Dask-shaped.  Cache hits resolved by the engine are reported to the
+    client's scheduler (when it exposes ``task_cached``) so cluster
+    accounting still shows the skipped tasks.
+    """
+
+    is_execution_backend = True
+
+    def __init__(self, client: Any) -> None:
+        self.client = client
+
+    def submit(self, individual: Any) -> FutureLike:
+        return self.client.submit(evaluate_individual, individual)
+
+    def on_cache_hit(self, individual: Any) -> None:
+        scheduler = getattr(self.client, "scheduler", None)
+        task_cached = getattr(scheduler, "task_cached", None)
+        if task_cached is not None:
+            task_cached(f"cached-{getattr(individual, 'uuid', '?')}")
+
+
+def as_backend(client: Any = None) -> Any:
+    """Coerce ``None`` / a client / a backend into a backend."""
+    if client is None:
+        return InlineBackend()
+    if getattr(client, "is_execution_backend", False):
+        return client
+    if callable(getattr(client, "submit", None)):
+        return ClientBackend(client)
+    raise TypeError(
+        f"{type(client).__name__} is neither an ExecutionBackend nor a "
+        "submit()-style client"
+    )

@@ -1,0 +1,380 @@
+"""The evaluation engine: one lifecycle for every candidate evaluation.
+
+One paper-scale campaign is ~3500 trainings of up to 2 GPU-hours each,
+so everything that avoids or survives a training — deduplication, the
+evaluation cache, the MAXINT failure policy, timeouts, journaling —
+must behave identically no matter which optimizer asked for the
+evaluation.  Before this layer existed, the generational driver, the
+steady-state driver, and each baseline carried their own copy of that
+logic (and only the generational driver had all of it).  The engine is
+the single copy.
+
+Two consumption styles, one bookkeeping path:
+
+* **batch** — :meth:`EvaluationEngine.evaluate` submits a pool of
+  offspring and blocks until all of them are resolved (the generational
+  barrier of §2.2.3 and the baselines' sweeps);
+* **streaming** — :meth:`EvaluationEngine.submit` plus
+  :meth:`EvaluationEngine.wait_any` resolve candidates as they finish
+  (the §2.2.5 steady-state scheme: breed on completion, no barrier).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass
+from typing import Any, Iterable, Optional
+
+import numpy as np
+
+from repro.engine.backends import as_backend, evaluate_individual
+from repro.engine.invoke import failure_fitness
+from repro.exceptions import TrainingTimeoutError
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.trace import get_tracer
+
+
+@dataclass
+class EngineStats:
+    """What the engine did, with cache/dedup separated from training.
+
+    ``fresh`` counts evaluations that actually executed (the trainings
+    a cluster would bill for); ``cache_hits`` and ``dedup_hits`` are
+    candidates resolved without executing anything.  Drivers report
+    these instead of conflating every completion with a training.
+    """
+
+    submitted: int = 0
+    completed: int = 0
+    fresh: int = 0
+    cache_hits: int = 0
+    dedup_hits: int = 0
+    failures: int = 0
+    timeouts: int = 0
+    wall_time: float = 0.0
+
+    def copy(self) -> "EngineStats":
+        return EngineStats(**asdict(self))
+
+    def delta(self, since: "EngineStats") -> "EngineStats":
+        """Stats accumulated after the ``since`` snapshot (for drivers
+        sharing one engine across runs or generations)."""
+        return EngineStats(
+            submitted=self.submitted - since.submitted,
+            completed=self.completed - since.completed,
+            fresh=self.fresh - since.fresh,
+            cache_hits=self.cache_hits - since.cache_hits,
+            dedup_hits=self.dedup_hits - since.dedup_hits,
+            failures=self.failures - since.failures,
+            timeouts=self.timeouts - since.timeouts,
+            wall_time=self.wall_time - since.wall_time,
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return asdict(self)
+
+
+class _InFlight:
+    """One submitted representative plus its duplicate followers."""
+
+    __slots__ = ("future", "individual", "followers", "genome_key", "since")
+
+    def __init__(
+        self, future: Any, individual: Any, genome_key: bytes, since: float
+    ) -> None:
+        self.future = future
+        self.individual = individual
+        self.followers: list[Any] = []
+        self.genome_key = genome_key
+        self.since = since
+
+
+class EvaluationEngine:
+    """Submit → dedup → cache → execute → failure-policy → journal.
+
+    Parameters
+    ----------
+    client:
+        ``None`` (inline evaluation), a ``submit``-style client, or an
+        :class:`~repro.engine.backends.ExecutionBackend`.
+    dedup:
+        Collapse genome-identical candidates onto one execution; the
+        duplicates receive a copy of the representative's result plus a
+        ``dedup_of`` marker.
+    dedup_scope:
+        ``"batch"`` forgets resolved genomes at each :meth:`evaluate`
+        call (the generational driver's within-generation semantics —
+        required for bit-identical resume); ``"run"`` remembers them for
+        the engine's lifetime (the steady-state and baseline setting).
+    timeout:
+        Soft per-evaluation wall-clock limit in seconds; an overrunning
+        candidate is failed with :class:`TrainingTimeoutError` (the
+        engine-side analogue of the paper's 2-hour training cap).
+    journal:
+        Duck-typed :class:`repro.store.journal.CampaignJournal`; every
+        completed candidate is appended via ``append_evaluation`` when
+        the journal provides it.
+    """
+
+    def __init__(
+        self,
+        client: Any = None,
+        dedup: bool = True,
+        dedup_scope: str = "batch",
+        timeout: Optional[float] = None,
+        journal: Any = None,
+        tracer: Any = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if dedup_scope not in ("batch", "run"):
+            raise ValueError("dedup_scope must be 'batch' or 'run'")
+        self.backend = as_backend(client)
+        self.dedup = bool(dedup)
+        self.dedup_scope = dedup_scope
+        self.timeout = timeout
+        self.journal = journal
+        self.tracer = tracer if tracer is not None else get_tracer()
+        registry = metrics if metrics is not None else get_registry()
+        self._c_submitted = registry.counter("engine_submitted_total")
+        self._c_completed = registry.counter("engine_completed_total")
+        self._c_fresh = registry.counter("engine_fresh_evaluations_total")
+        self._c_cache = registry.counter("engine_cache_hits_total")
+        self._c_dedup = registry.counter("engine_dedup_hits_total")
+        self._c_failures = registry.counter("engine_failures_total")
+        self.stats = EngineStats()
+        self._inflight: list[_InFlight] = []
+        self._ready: list[Any] = []
+        self._results: dict[bytes, Any] = {}
+        self._started_at: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(self, individual: Any) -> None:
+        """Enqueue one candidate; it resolves via :meth:`wait_any` /
+        :meth:`evaluate` (duplicates and cache hits resolve at once)."""
+        now = time.monotonic()
+        if self._started_at is None:
+            self._started_at = now
+        self.stats.submitted += 1
+        self._c_submitted.inc()
+        genome_key = self._genome_key(individual)
+        if self.dedup and genome_key is not None:
+            done = self._results.get(genome_key)
+            if done is not None:
+                self._resolve_duplicate(individual, done)
+                return
+            for pending in self._inflight:
+                if pending.genome_key == genome_key:
+                    pending.followers.append(individual)
+                    return
+        if self._cache_probe(individual):
+            self._finish(individual, genome_key, cache_fast_path=True)
+            return
+        self._inflight.append(
+            _InFlight(
+                self.backend.submit(individual),
+                individual,
+                genome_key,
+                now,
+            )
+        )
+
+    def evaluate(self, individuals: Iterable[Any]) -> list[Any]:
+        """Batch mode: resolve every candidate, preserving order.
+
+        Individuals are evaluated in place and the input list returned,
+        so this drops into pipeline sinks directly.
+        """
+        batch = list(individuals)
+        if self.dedup_scope == "batch":
+            self._results.clear()
+        before = self.stats.copy()
+        with self.tracer.span("engine.evaluate", n=len(batch)) as span:
+            for individual in batch:
+                self.submit(individual)
+            self.drain()
+            used = self.stats.delta(before)
+            span.tag(
+                fresh=used.fresh,
+                cache_hits=used.cache_hits,
+                dedup_hits=used.dedup_hits,
+                failures=used.failures,
+            )
+        self._ready.clear()
+        return batch
+
+    # ------------------------------------------------------------------
+    # streaming
+    # ------------------------------------------------------------------
+    def has_pending(self) -> bool:
+        """Any candidate not yet handed back to the caller?"""
+        return bool(self._inflight or self._ready)
+
+    def wait_any(
+        self,
+        poll_interval: float = 0.001,
+        timeout: Optional[float] = None,
+    ) -> list[Any]:
+        """Block until at least one candidate resolves; return all that
+        have (empty only when nothing is pending or ``timeout`` hits)."""
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        while True:
+            self._pump()
+            if self._ready:
+                drained = self._ready
+                self._ready = []
+                return drained
+            if not self._inflight:
+                return []
+            if deadline is not None and time.monotonic() >= deadline:
+                return []
+            time.sleep(poll_interval)
+
+    def drain(self) -> None:
+        """Block until every in-flight candidate has resolved."""
+        while self._inflight:
+            self._pump()
+            if self._inflight:
+                time.sleep(0.001)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _genome_key(individual: Any) -> Optional[bytes]:
+        genome = getattr(individual, "genome", None)
+        try:
+            return None if genome is None else genome.tobytes()
+        except AttributeError:  # pragma: no cover - exotic genomes
+            return None
+
+    def _cache_probe(self, individual: Any) -> bool:
+        """Serve ``individual`` from its problem's evaluation cache when
+        possible; a hit never crosses the backend or occupies a worker."""
+        problem = getattr(individual, "problem", None)
+        cache = getattr(problem, "cache", None)
+        key_fn = getattr(problem, "cache_key", None)
+        if cache is None or key_fn is None:
+            return False
+        try:
+            if not cache.contains(key_fn(individual.decode())):
+                return False
+        except Exception:  # noqa: BLE001 - undecodable: execute normally
+            return False
+        try:
+            # re-enters the problem, which serves the memoized entry
+            evaluate_individual(individual)
+        except Exception as exc:  # noqa: BLE001 - memoized failure replay
+            self._apply_failure(individual, exc)
+        self.backend.on_cache_hit(individual)
+        return True
+
+    def _apply_failure(self, individual: Any, exc: BaseException) -> None:
+        """The §2.2.4 exception→MAXINT policy (the engine-side copy for
+        plain individuals, worker deaths, and timeouts; robust
+        individuals apply the same policy to their own exceptions)."""
+        n_objectives = getattr(individual, "n_objectives", None) or (
+            getattr(
+                getattr(individual, "problem", None), "n_objectives", None
+            )
+            or 1
+        )
+        individual.fitness = failure_fitness(n_objectives)
+        individual.metadata["error"] = f"{type(exc).__name__}: {exc}"
+        individual.metadata.update(getattr(exc, "metadata", None) or {})
+        individual.metadata.setdefault("failed", True)
+        individual.metadata.setdefault(
+            "failure_cause", f"{type(exc).__name__}: {exc}"
+        )
+
+    def _resolve_duplicate(self, individual: Any, done: Any) -> None:
+        individual.fitness = (
+            None
+            if done.fitness is None
+            else np.array(done.fitness, copy=True)
+        )
+        individual.metadata = dict(done.metadata)
+        individual.metadata["dedup_of"] = getattr(done, "uuid", None)
+        self._finish(individual, None, duplicate=True)
+
+    def _finish(
+        self,
+        individual: Any,
+        genome_key: Optional[bytes],
+        cache_fast_path: bool = False,
+        duplicate: bool = False,
+    ) -> None:
+        metadata = getattr(individual, "metadata", None) or {}
+        cache_hit = cache_fast_path or bool(metadata.get("cache_hit"))
+        self.stats.completed += 1
+        self._c_completed.inc()
+        if duplicate:
+            self.stats.dedup_hits += 1
+            self._c_dedup.inc()
+        elif cache_hit:
+            self.stats.cache_hits += 1
+            self._c_cache.inc()
+        else:
+            self.stats.fresh += 1
+            self._c_fresh.inc()
+        fitness = getattr(individual, "fitness", None)
+        if bool(metadata.get("failed")) or (
+            fitness is not None
+            and not bool(np.all(np.asarray(fitness) < np.inf))
+        ):
+            # unreachable fallback branch for exotic fitnesses; real
+            # failures carry the explicit flag
+            self.stats.failures += 1
+            self._c_failures.inc()
+        if self._started_at is not None:
+            self.stats.wall_time = time.monotonic() - self._started_at
+        if not duplicate and genome_key is not None and self.dedup:
+            self._results[genome_key] = individual
+        if self.journal is not None:
+            append = getattr(self.journal, "append_evaluation", None)
+            if append is not None:
+                append(individual)
+        self._ready.append(individual)
+
+    def _pump(self) -> None:
+        """Move finished (or timed-out) in-flight work to the ready list."""
+        now = time.monotonic()
+        still: list[_InFlight] = []
+        for pending in self._inflight:
+            if pending.future.done():
+                individual = pending.individual
+                try:
+                    result = pending.future.result()
+                    if result is not None and result is not individual:
+                        # the result crossed a process/copy boundary
+                        individual.fitness = result.fitness
+                        individual.metadata = result.metadata
+                except Exception as exc:  # noqa: BLE001 - worker died
+                    self._apply_failure(individual, exc)
+                self._finish(individual, pending.genome_key)
+                for follower in pending.followers:
+                    self._resolve_duplicate(follower, individual)
+            elif (
+                self.timeout is not None
+                and now - pending.since > self.timeout
+            ):
+                individual = pending.individual
+                cancel = getattr(pending.future, "cancel", None)
+                if cancel is not None:
+                    cancel()
+                self._apply_failure(
+                    individual,
+                    TrainingTimeoutError(
+                        now - pending.since, self.timeout
+                    ),
+                )
+                self.stats.timeouts += 1
+                self._finish(individual, pending.genome_key)
+                for follower in pending.followers:
+                    self._resolve_duplicate(follower, individual)
+            else:
+                still.append(pending)
+        self._inflight = still

@@ -1,0 +1,49 @@
+"""The sanctioned entry points into a problem's evaluation.
+
+Everything outside :mod:`repro.engine` (and the robust individual's own
+exception fallback) must reach ``Problem.evaluate`` /
+``evaluate_with_metadata`` through these helpers, and must build the
+§2.2.4 failure fitness through :func:`failure_fitness` — the AST guard
+in ``tests/test_engine.py`` keeps it that way, so the failure policy
+cannot quietly fork again.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.exceptions import MAXINT
+
+
+def failure_fitness(n_objectives: int) -> np.ndarray:
+    """The all-``MAXINT`` fitness a failed evaluation receives.
+
+    Large, finite, and totally ordered, so NSGA-II sorting stays well
+    defined (the paper's fix for LEAP's NaN-on-failure default).
+    """
+    return np.full(int(n_objectives), MAXINT, dtype=np.float64)
+
+
+def call_problem(
+    problem: Any, phenome: Any, uuid: Optional[str] = None
+) -> tuple[np.ndarray, dict[str, Any]]:
+    """Dispatch one evaluation, normalizing the two problem interfaces.
+
+    Problems exposing ``evaluate_with_metadata`` (returning a
+    ``(fitness, metadata)`` pair) are preferred — the metadata carries
+    the runtime the paper tracks; plain ``evaluate`` problems get an
+    empty metadata dict.  Exceptions propagate to the caller, which
+    owns the failure policy.
+    """
+    if hasattr(problem, "evaluate_with_metadata"):
+        fitness, metadata = problem.evaluate_with_metadata(
+            phenome, uuid=uuid
+        )
+        return (
+            np.atleast_1d(np.asarray(fitness, dtype=np.float64)),
+            dict(metadata),
+        )
+    fitness = problem.evaluate(phenome)
+    return np.atleast_1d(np.asarray(fitness, dtype=np.float64)), {}

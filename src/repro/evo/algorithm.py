@@ -31,6 +31,7 @@ from typing import Any, Callable, Optional, Sequence, Type
 import numpy as np
 
 from repro.context import Context
+from repro.engine import EvaluationEngine
 from repro.evo import ops
 from repro.evo.annealing import AnnealingSchedule
 from repro.evo.decoder import Decoder
@@ -149,6 +150,7 @@ def generational_nsga2(
     dedup: bool = False,
     journal: Any = None,
     resume_from: Optional[ResumeState] = None,
+    engine: Optional[EvaluationEngine] = None,
 ) -> list[GenerationRecord]:
     """Run one NSGA-II deployment; returns one record per generation.
 
@@ -169,9 +171,22 @@ def generational_nsga2(
     the generation commits; ``resume_from`` continues a journaled run
     mid-stream — the returned list then holds only the *new*
     generations (the caller already has the restored prefix).
+
+    All evaluations flow through one
+    :class:`repro.engine.EvaluationEngine` (batch-scoped dedup, so the
+    within-generation semantics — and bit-identical resume — are
+    preserved); pass ``engine`` to supply a configured one, otherwise
+    it is built from ``client``/``dedup``.
     """
     trc = tracer if tracer is not None else get_tracer()
     ctx = context if context is not None else Context()
+    eng = (
+        engine
+        if engine is not None
+        else EvaluationEngine(
+            client=client, dedup=dedup, dedup_scope="batch", tracer=trc
+        )
+    )
     if resume_from is not None:
         gen_rng = resume_from.rng
         schedule = AnnealingSchedule(
@@ -194,9 +209,9 @@ def generational_nsga2(
                 individual_cls=individual_cls,
                 rng=gen_rng,
             )
-            parents = ops.eval_pool(
-                client=client, size=len(parents), dedup=dedup
-            )(iter(parents))
+            parents = ops.eval_pool(size=len(parents), engine=eng)(
+                iter(parents)
+            )
             records = [
                 GenerationRecord(
                     generation=0,
@@ -228,9 +243,7 @@ def generational_nsga2(
                     hard_bounds=hard_bounds,
                     rng=gen_rng,
                 ),
-                ops.eval_pool(
-                    client=client, size=len(parents), dedup=dedup
-                ),
+                ops.eval_pool(size=len(parents), engine=eng),
             )
             combined = rank_ordinal_sort_op(
                 parents=parents, algorithm=sort_algorithm

@@ -10,10 +10,11 @@ evaluation finishes, one new offspring is bred from the current
 population and submitted immediately, keeping every node busy.
 
 :func:`steady_state_nsga2` implements that scheme on top of the same
-building blocks as the generational driver — robust individuals,
-Gaussian mutation with annealed deviations, NSGA-II environmental
-selection — using any client with ``submit``/futures semantics
-(:class:`repro.distributed.Client` or a real Dask client).  The
+:class:`repro.engine.EvaluationEngine` that powers the generational
+driver, so it inherits the full evaluation lifecycle — run-scoped
+genome dedup, cache probing (a revisited phenome never retrains),
+per-evaluation journaling, tracer spans, and the exception→MAXINT
+policy — instead of a bespoke submit loop.  The
 ``bench_async_vs_generational`` benchmark quantifies the barrier cost
 the paper's synchronous deployment pays.
 """
@@ -22,27 +23,38 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Optional, Type
+from typing import Any, Callable, Optional, Type
 
 import numpy as np
 
 from repro.context import Context
+from repro.engine import EvaluationEngine
 from repro.evo.annealing import AnnealingSchedule
 from repro.evo.decoder import Decoder
 from repro.evo.individual import Individual, RobustIndividual
 from repro.evo.nsga2 import nsga2_select
-from repro.evo.ops import _evaluate_individual
 from repro.evo.problem import Problem
+from repro.obs.trace import get_tracer
 from repro.rng import RngLike, ensure_rng
 
 
 @dataclass
 class SteadyStateRecord:
-    """Outcome of one steady-state run."""
+    """Outcome of one steady-state run.
+
+    ``completions`` counts every candidate the driver consumed;
+    ``evaluations`` only the fresh trainings the engine actually ran —
+    cache hits and duplicate genomes are broken out separately, so a
+    resumed (cache-warm) run no longer reports replayed results as new
+    trainings.
+    """
 
     population: list[Individual]
     evaluated: list[Individual] = field(default_factory=list)
     evaluations: int = 0
+    completions: int = 0
+    cache_hits: int = 0
+    dedup_hits: int = 0
     wall_time: float = 0.0
     n_failures: int = 0
 
@@ -53,13 +65,17 @@ def steady_state_nsga2(
     initial_std: np.ndarray,
     pop_size: int,
     max_evaluations: int,
-    client: Any,
+    client: Any = None,
     hard_bounds: Optional[np.ndarray] = None,
     decoder: Optional[Decoder] = None,
     individual_cls: Type[Individual] = RobustIndividual,
     anneal_factor: float = 0.85,
     anneal_every: Optional[int] = None,
     rng: RngLike = None,
+    engine: Optional[EvaluationEngine] = None,
+    journal: Any = None,
+    tracer: Any = None,
+    callback: Optional[Callable[[Individual, int], None]] = None,
 ) -> SteadyStateRecord:
     """Barrier-free NSGA-II: breed-on-completion.
 
@@ -69,11 +85,31 @@ def steady_state_nsga2(
     ``anneal_every`` applies the ×``anneal_factor`` decay after that
     many completions (default: every ``pop_size`` completions, matching
     the generational schedule in expectation).
+
+    ``client=None`` evaluates inline (deterministic completion order,
+    which is what makes cache-driven resume replay exactly); pass a
+    futures client for real asynchrony, or a pre-configured ``engine``
+    to control dedup/journal/timeout directly.  ``journal`` (duck-typed
+    :class:`repro.store.journal.CampaignJournal`) receives every
+    completed evaluation; ``callback(individual, completions)`` fires
+    on each completion.
     """
     gen_rng = ensure_rng(rng)
     if max_evaluations < pop_size:
         raise ValueError("budget must cover the initial population")
     anneal_every = anneal_every or pop_size
+    trc = tracer if tracer is not None else get_tracer()
+    eng = (
+        engine
+        if engine is not None
+        else EvaluationEngine(
+            client=client,
+            dedup=True,
+            dedup_scope="run",
+            journal=journal,
+            tracer=trc,
+        )
+    )
     schedule = AnnealingSchedule(
         initial_std, factor=anneal_factor, context=Context()
     )
@@ -100,42 +136,89 @@ def steady_state_nsga2(
         return child
 
     start = time.monotonic()
+    before = eng.stats.copy()
     record = SteadyStateRecord(population=[])
-    # seed the pipeline with the random initial population
-    in_flight = {}
-    for _ in range(pop_size):
-        ind = make_random()
-        in_flight[client.submit(_evaluate_individual, ind)] = ind
-    submitted = pop_size
-    population: list[Individual] = []
-    completions = 0
-    while in_flight:
-        # poll for any completed future (as_completed semantics)
-        done = [f for f in in_flight if f.done()]
-        if not done:
-            time.sleep(0.001)
-            continue
-        for future in done:
-            in_flight.pop(future)
-            evaluated = future.result()
-            record.evaluated.append(evaluated)
-            completions += 1
-            if not evaluated.is_viable:
-                record.n_failures += 1
-            population.append(evaluated)
-            if len(population) > pop_size:
-                population = nsga2_select(population, pop_size)
-            if completions % anneal_every == 0:
-                schedule.step()
-            if submitted < max_evaluations:
-                child = breed(population)
-                in_flight[
-                    client.submit(_evaluate_individual, child)
-                ] = child
-                submitted += 1
-    record.population = nsga2_select(
-        population, min(pop_size, len(population))
-    )
-    record.evaluations = completions
-    record.wall_time = time.monotonic() - start
+    with trc.span(
+        "ea.steady_state", budget=max_evaluations, pop_size=pop_size
+    ) as span:
+        # seed the pipeline with the random initial population
+        for _ in range(pop_size):
+            eng.submit(make_random())
+        submitted = pop_size
+        population: list[Individual] = []
+        completions = 0
+        while eng.has_pending():
+            for evaluated in eng.wait_any():
+                record.evaluated.append(evaluated)
+                completions += 1
+                population.append(evaluated)
+                if len(population) > pop_size:
+                    population = nsga2_select(population, pop_size)
+                if completions % anneal_every == 0:
+                    schedule.step()
+                if submitted < max_evaluations:
+                    eng.submit(breed(population))
+                    submitted += 1
+                if callback is not None:
+                    callback(evaluated, completions)
+        record.population = nsga2_select(
+            population, min(pop_size, len(population))
+        )
+        used = eng.stats.delta(before)
+        record.evaluations = used.fresh
+        record.completions = used.completed
+        record.cache_hits = used.cache_hits
+        record.dedup_hits = used.dedup_hits
+        record.n_failures = used.failures
+        record.wall_time = time.monotonic() - start
+        span.tag(
+            fresh=used.fresh,
+            cache_hits=used.cache_hits,
+            dedup_hits=used.dedup_hits,
+            failures=used.failures,
+        )
     return record
+
+
+def steady_state_as_generations(
+    record: SteadyStateRecord,
+    pop_size: int,
+    initial_std: np.ndarray,
+    anneal_factor: float = 0.85,
+    anneal_every: Optional[int] = None,
+) -> list:
+    """View a steady-state run as pseudo-generations.
+
+    The campaign/report stack is built around
+    :class:`repro.evo.algorithm.GenerationRecord` streams; this chunks
+    the completion-ordered ``record.evaluated`` into ``anneal_every``
+    windows (the annealing cadence, i.e. the generational analogue),
+    attaching the deviation vector that was current for each window.
+    The final window carries the run's selected population; earlier
+    windows use their own completions, mirroring what the population
+    roughly was at that point.
+    """
+    from repro.evo.algorithm import GenerationRecord
+
+    anneal_every = anneal_every or pop_size
+    std = np.asarray(initial_std, dtype=np.float64).copy()
+    chunks = [
+        record.evaluated[i : i + anneal_every]
+        for i in range(0, len(record.evaluated), anneal_every)
+    ]
+    generations: list[GenerationRecord] = []
+    for g, chunk in enumerate(chunks):
+        last = g == len(chunks) - 1
+        generations.append(
+            GenerationRecord(
+                generation=g,
+                population=list(record.population) if last else list(chunk),
+                evaluated=list(chunk),
+                std=std.copy(),
+                n_failures=sum(
+                    1 for ind in chunk if not ind.is_viable
+                ),
+            )
+        )
+        std = std * anneal_factor
+    return generations

@@ -17,8 +17,8 @@ from typing import Any, Optional
 
 import numpy as np
 
-#: The failure fitness: large, finite, and totally ordered — unlike NaN.
-MAXINT: float = float(np.iinfo(np.int64).max)
+# re-exported for compatibility; repro.exceptions is the source of truth
+from repro.exceptions import MAXINT
 
 
 class Individual:

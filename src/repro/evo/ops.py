@@ -25,6 +25,7 @@ from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
 
 import numpy as np
 
+from repro.engine import EvaluationEngine, evaluate_individual
 from repro.evo.individual import Individual
 from repro.rng import RngLike, ensure_rng
 
@@ -105,7 +106,7 @@ def mutate_gaussian(
 def evaluate(stream: Iterable[Individual]) -> Iterator[Individual]:
     """Evaluate each individual inline as it flows through."""
     for ind in stream:
-        yield ind.evaluate()
+        yield evaluate_individual(ind)
 
 
 # ----------------------------------------------------------------------
@@ -131,81 +132,37 @@ def pool(size: int) -> Callable[[Iterable[Individual]], list[Individual]]:
     return op
 
 
-def _evaluate_individual(ind: Individual) -> Individual:
-    """Module-level helper so distributed backends can ship it."""
-    return ind.evaluate()
-
-
-def _fan_out_duplicates(groups: Sequence[Sequence[Individual]]) -> None:
-    """Copy each group representative's result onto its duplicates."""
-    for group in groups:
-        rep = group[0]
-        for dup in group[1:]:
-            dup.fitness = (
-                None
-                if rep.fitness is None
-                else np.array(rep.fitness, copy=True)
-            )
-            dup.metadata = dict(rep.metadata)
-            dup.metadata["dedup_of"] = rep.uuid
+#: module-level alias kept for distributed backends and older callers
+_evaluate_individual = evaluate_individual
 
 
 def eval_pool(
-    client: Any = None, size: int = 1, dedup: bool = False
+    client: Any = None,
+    size: int = 1,
+    dedup: bool = False,
+    engine: Optional[EvaluationEngine] = None,
 ) -> Callable[[Iterable[Individual]], list[Individual]]:
     """Accumulate ``size`` offspring, then evaluate them all.
 
-    With ``client=None`` evaluation happens sequentially in-process;
-    otherwise ``client.map`` fans the evaluations out to workers and
-    gathers the results (the Dask pattern of §2.2.5 — our
-    :class:`repro.distributed.Client` implements the same interface).
-
-    ``dedup`` groups genome-identical offspring (exact byte equality),
-    evaluates one representative per group, and fans the shared result
-    back out — duplicates get a copy of the representative's fitness
-    and metadata plus a ``dedup_of`` marker.  One generation of the
-    paper's campaign trains 100 models of up to 2 hours each, so a
-    single duplicate skipped pays for the hashing many times over.
+    The actual lifecycle — dedup of genome-identical offspring, cache
+    probing, fan-out through a client, worker-death → MAXINT policy —
+    lives in :class:`repro.engine.EvaluationEngine`; this sink just
+    feeds it one batch.  Pass ``engine`` to share one engine (and its
+    statistics) across generations; otherwise a transient engine is
+    built from ``client``/``dedup``, which evaluates in-process when
+    ``client`` is None and fans out through the client's futures
+    otherwise (the Dask pattern of §2.2.5).
     """
     take = pool(size)
 
     def op(stream: Iterable[Individual]) -> list[Individual]:
         offspring = take(stream)
-        if dedup:
-            by_genome: dict[bytes, list[Individual]] = {}
-            for ind in offspring:
-                by_genome.setdefault(ind.genome.tobytes(), []).append(ind)
-            groups = list(by_genome.values())
-        else:
-            groups = [[ind] for ind in offspring]
-        reps = [group[0] for group in groups]
-        if client is None:
-            for rep in reps:
-                rep.evaluate()
-        else:
-            futures = client.map(_evaluate_individual, reps)
-            for rep, future in zip(reps, futures):
-                try:
-                    evaluated = future.result()
-                    if evaluated is not rep:  # result crossed a copy
-                        rep.fitness = evaluated.fitness
-                        rep.metadata = evaluated.metadata
-                except Exception as exc:  # noqa: BLE001
-                    # the worker died (or the task was stranded) before
-                    # the individual's own exception handling could run
-                    # — the paper's node-failure case: assign MAXINT
-                    from repro.evo.individual import MAXINT
-
-                    n_obj = getattr(rep, "n_objectives", None) or (
-                        rep.problem.n_objectives if rep.problem else 1
-                    )
-                    rep.fitness = np.full(n_obj, MAXINT)
-                    rep.metadata["error"] = (
-                        f"{type(exc).__name__}: {exc}"
-                    )
-                    rep.metadata.setdefault("failed", True)
-        _fan_out_duplicates(groups)
-        return offspring
+        eng = (
+            engine
+            if engine is not None
+            else EvaluationEngine(client=client, dedup=dedup)
+        )
+        return eng.evaluate(offspring)
 
     return op
 

@@ -10,6 +10,14 @@ precisely while the HPO layer treats them uniformly.
 
 from __future__ import annotations
 
+import numpy as np
+
+#: The failure fitness: large, finite, and totally ordered — unlike NaN.
+#: §2.2.4's replacement for LEAP's NaN-on-failure default, hoisted here
+#: as the single source of truth for every layer (re-exported from
+#: :mod:`repro.evo.individual` for compatibility).
+MAXINT: float = float(np.iinfo(np.int64).max)
+
 
 class ReproError(Exception):
     """Base class for all package-specific errors."""

@@ -17,16 +17,23 @@ These baselines make both comparisons measurable:
     A single-objective generational EA on ``w·energy + (1-w)·force``
     using the same mutation/annealing machinery as the NSGA-II
     deployment.
+
+All three run their evaluations through
+:class:`repro.engine.EvaluationEngine`, so a ``client`` fans a sweep
+out across workers and a cached problem serves repeated phenomes
+without retraining — the baselines compete against NSGA-II on equal
+infrastructure, not just equal budgets.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Any, Optional, Sequence
 
 import numpy as np
 
+from repro.engine import EvaluationEngine, call_problem
 from repro.evo import ops
 from repro.evo.annealing import AnnealingSchedule
 from repro.evo.decoder import MixedVectorDecoder
@@ -38,10 +45,17 @@ from repro.rng import RngLike, ensure_rng
 
 @dataclass
 class SearchResult:
-    """Outcome of a baseline search."""
+    """Outcome of a baseline search.
+
+    ``evaluations`` counts every candidate resolved (the search's
+    nominal budget); ``fresh`` and ``cache_hits`` break out how many
+    actually trained versus replayed from the evaluation cache.
+    """
 
     evaluated: list[Individual]
     evaluations: int
+    fresh: int = 0
+    cache_hits: int = 0
 
     def fitness_matrix(self) -> np.ndarray:
         return np.asarray(
@@ -59,11 +73,31 @@ def _make_individual(genome: np.ndarray, problem: Problem) -> Individual:
     return ind
 
 
+def _engine_for(client: Any, engine: Optional[EvaluationEngine]):
+    if engine is not None:
+        return engine
+    return EvaluationEngine(client=client, dedup=True, dedup_scope="run")
+
+
+def _search_result(
+    evaluated: list[Individual], engine: EvaluationEngine, before
+) -> SearchResult:
+    used = engine.stats.delta(before)
+    return SearchResult(
+        evaluated=evaluated,
+        evaluations=used.completed,
+        fresh=used.fresh,
+        cache_hits=used.cache_hits,
+    )
+
+
 def grid_search(
     problem: Problem,
     points_per_gene: int = 10,
     budget: Optional[int] = None,
     rng: RngLike = None,
+    client: Any = None,
+    engine: Optional[EvaluationEngine] = None,
 ) -> SearchResult:
     """Full-factorial grid over the Table 1 ranges.
 
@@ -84,7 +118,6 @@ def grid_search(
     if budget is None or budget >= total:
         lattice = itertools.product(*axes)
         genomes = (np.array(node) for node in lattice)
-        n_eval = total
     else:
         flat = gen.choice(total, size=budget, replace=False)
         n = points_per_gene
@@ -97,24 +130,35 @@ def grid_search(
             return np.array(list(reversed(coords)))
 
         genomes = (node(int(i)) for i in flat)
-        n_eval = budget
-    evaluated = [
-        _make_individual(g, problem).evaluate() for g in genomes
-    ]
-    return SearchResult(evaluated=evaluated, evaluations=n_eval)
+    eng = _engine_for(client, engine)
+    before = eng.stats.copy()
+    evaluated = eng.evaluate(
+        [_make_individual(g, problem) for g in genomes]
+    )
+    return _search_result(evaluated, eng, before)
 
 
 def random_search(
-    problem: Problem, budget: int, rng: RngLike = None
+    problem: Problem,
+    budget: int,
+    rng: RngLike = None,
+    client: Any = None,
+    engine: Optional[EvaluationEngine] = None,
 ) -> SearchResult:
     """Uniform random sampling within the initialization ranges."""
     gen = ensure_rng(rng)
     ranges = DeepMDRepresentation.init_ranges
-    evaluated = []
-    for _ in range(budget):
-        genome = gen.uniform(ranges[:, 0], ranges[:, 1])
-        evaluated.append(_make_individual(genome, problem).evaluate())
-    return SearchResult(evaluated=evaluated, evaluations=budget)
+    eng = _engine_for(client, engine)
+    before = eng.stats.copy()
+    evaluated = eng.evaluate(
+        [
+            _make_individual(
+                gen.uniform(ranges[:, 0], ranges[:, 1]), problem
+            )
+            for _ in range(budget)
+        ]
+    )
+    return _search_result(evaluated, eng, before)
 
 
 def weighted_sum_ea(
@@ -124,6 +168,8 @@ def weighted_sum_ea(
     generations: int = 6,
     anneal_factor: float = 0.85,
     rng: RngLike = None,
+    client: Any = None,
+    engine: Optional[EvaluationEngine] = None,
 ) -> SearchResult:
     """Single-objective EA on a fixed weighted sum of the two losses.
 
@@ -141,10 +187,16 @@ def weighted_sum_ea(
     schedule = AnnealingSchedule(
         DeepMDRepresentation.mutation_std, factor=anneal_factor
     )
-    population = []
-    for _ in range(pop_size):
-        genome = gen.uniform(ranges[:, 0], ranges[:, 1])
-        population.append(_make_individual(genome, scalar).evaluate())
+    eng = _engine_for(client, engine)
+    before = eng.stats.copy()
+    population = eng.evaluate(
+        [
+            _make_individual(
+                gen.uniform(ranges[:, 0], ranges[:, 1]), scalar
+            )
+            for _ in range(pop_size)
+        ]
+    )
     evaluated = list(population)
     for _ in range(generations):
         offspring = ops.pipe(
@@ -156,17 +208,14 @@ def weighted_sum_ea(
                 hard_bounds=DeepMDRepresentation.bounds,
                 rng=gen,
             ),
-            ops.pool(pop_size),
+            ops.eval_pool(size=pop_size, engine=eng),
         )
-        offspring = [ind.evaluate() for ind in offspring]
         evaluated.extend(offspring)
         population = ops.truncation_selection(size=pop_size)(
             population + offspring
         )
         schedule.step()
-    return SearchResult(
-        evaluated=evaluated, evaluations=pop_size * (generations + 1)
-    )
+    return _search_result(evaluated, eng, before)
 
 
 class _WeightedSumProblem(Problem):
@@ -184,12 +233,7 @@ class _WeightedSumProblem(Problem):
         self.weight_energy = float(weight_energy)
 
     def evaluate_with_metadata(self, phenome, uuid=None):
-        if hasattr(self.problem, "evaluate_with_metadata"):
-            fitness, meta = self.problem.evaluate_with_metadata(
-                phenome, uuid=uuid
-            )
-        else:
-            fitness, meta = self.problem.evaluate(phenome), {}
+        fitness, meta = call_problem(self.problem, phenome, uuid=uuid)
         # normalize scales: energy errors are roughly 10x smaller
         scalar = np.array(
             [
@@ -202,5 +246,5 @@ class _WeightedSumProblem(Problem):
         return scalar, meta
 
     def evaluate(self, phenome) -> np.ndarray:
-        scalar, _ = self.evaluate_with_metadata(phenome)
+        scalar, _ = call_problem(self, phenome)
         return scalar

@@ -17,7 +17,11 @@ import numpy as np
 from repro.evo.algorithm import GenerationRecord
 from repro.evo.individual import Individual
 from repro.evo.problem import Problem
-from repro.hpo.driver import NSGA2Settings, run_deepmd_nsga2
+from repro.hpo.driver import (
+    NSGA2Settings,
+    run_deepmd_nsga2,
+    run_deepmd_steady_state,
+)
 from repro.mo.pareto import pareto_front
 from repro.obs.trace import NullTracer, Tracer, get_tracer
 from repro.rng import seeds_for_runs
@@ -25,7 +29,13 @@ from repro.rng import seeds_for_runs
 
 @dataclass
 class CampaignConfig:
-    """Paper scale: 5 runs × (1 + 6) generations × 100 individuals."""
+    """Paper scale: 5 runs × (1 + 6) generations × 100 individuals.
+
+    ``mode`` selects the deployment scheme per run: ``"generational"``
+    (the paper's barrier-synchronized NSGA-II) or ``"steady-state"``
+    (the §2.2.5 breed-on-completion variant, same training budget,
+    rendered as pseudo-generations for the §3 analysis stack).
+    """
 
     n_runs: int = 5
     pop_size: int = 100
@@ -33,6 +43,15 @@ class CampaignConfig:
     anneal_factor: float = 0.85
     sort_algorithm: str = "rank_ordinal"
     base_seed: int = 2023
+    mode: str = "generational"
+
+    def __post_init__(self) -> None:
+        self.mode = str(self.mode).replace("_", "-")
+        if self.mode not in ("generational", "steady-state"):
+            raise ValueError(
+                "mode must be 'generational' or 'steady-state', "
+                f"got {self.mode!r}"
+            )
 
     def nsga2_settings(self) -> NSGA2Settings:
         return NSGA2Settings(
@@ -160,17 +179,31 @@ class Campaign:
             if self.journal is not None:
                 self.journal.begin_run(run_index, int(seed))
             with self.tracer.span(
-                "campaign.run", run=run_index, seed=int(seed)
+                "campaign.run",
+                run=run_index,
+                seed=int(seed),
+                mode=self.config.mode,
             ):
-                records = run_deepmd_nsga2(
-                    problem=problem,
-                    settings=self.config.nsga2_settings(),
-                    client=self.client,
-                    rng=seed,
-                    callback=cb,
-                    tracer=self.tracer,
-                    journal=self.journal,
-                )
+                if self.config.mode == "steady-state":
+                    records = run_deepmd_steady_state(
+                        problem=problem,
+                        settings=self.config.nsga2_settings(),
+                        client=self.client,
+                        rng=seed,
+                        callback=cb,
+                        tracer=self.tracer,
+                        journal=self.journal,
+                    )
+                else:
+                    records = run_deepmd_nsga2(
+                        problem=problem,
+                        settings=self.config.nsga2_settings(),
+                        client=self.client,
+                        rng=seed,
+                        callback=cb,
+                        tracer=self.tracer,
+                        journal=self.journal,
+                    )
             result.runs.append(records)
             if self.journal is not None:
                 self.journal.end_run(run_index)

@@ -48,14 +48,19 @@ class _KillAfterEvaluations:
             os._exit(137)
 
     def evaluate_with_metadata(self, phenome, uuid=None):
+        from repro.engine import call_problem
+
         try:
-            return self.problem.evaluate_with_metadata(phenome, uuid=uuid)
+            return call_problem(self.problem, phenome, uuid=uuid)
         finally:
             self._count()
 
     def evaluate(self, phenome):
+        from repro.engine import call_problem
+
         try:
-            return self.problem.evaluate(phenome)
+            fitness, _ = call_problem(self.problem, phenome)
+            return fitness
         finally:
             self._count()
 
@@ -162,6 +167,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         pop_size=args.pop_size,
         generations=args.generations,
         base_seed=args.seed,
+        mode=args.mode,
     )
     tracer = Tracer(args.trace) if args.trace else NULL_TRACER
     if args.backend == "surrogate":
@@ -384,8 +390,22 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    p = sub.add_parser("campaign", help="run a multi-run EA campaign")
+    p = sub.add_parser(
+        "campaign",
+        aliases=["run"],
+        help="run a multi-run EA campaign",
+    )
     p.add_argument("--backend", choices=["surrogate", "real"], default="surrogate")
+    p.add_argument(
+        "--mode",
+        choices=["generational", "steady-state"],
+        default="generational",
+        help=(
+            "deployment scheme: the paper's barrier-synchronized "
+            "generational NSGA-II, or the §2.2.5 asynchronous "
+            "steady-state variant (same budget, breed-on-completion)"
+        ),
+    )
     p.add_argument("--runs", type=int, default=5)
     p.add_argument("--pop-size", type=int, default=100)
     p.add_argument("--generations", type=int, default=6)

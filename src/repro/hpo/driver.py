@@ -16,6 +16,11 @@ import numpy as np
 
 from repro.context import Context
 from repro.evo.algorithm import GenerationRecord, generational_nsga2
+from repro.evo.asynchronous import (
+    SteadyStateRecord,
+    steady_state_as_generations,
+    steady_state_nsga2,
+)
 from repro.evo.individual import RobustIndividual
 from repro.evo.problem import Problem
 from repro.hpo.representation import DeepMDRepresentation
@@ -80,3 +85,59 @@ def run_deepmd_nsga2(
         journal=journal,
         resume_from=resume_from,
     )
+
+
+def run_deepmd_steady_state(
+    problem: Problem,
+    settings: Optional[NSGA2Settings] = None,
+    client: Any = None,
+    rng: RngLike = None,
+    callback: Optional[Callable[[GenerationRecord], None]] = None,
+    tracer: Any = None,
+    journal: Any = None,
+    raw_record: Optional[list[SteadyStateRecord]] = None,
+) -> list[GenerationRecord]:
+    """One asynchronous steady-state deployment (§2.2.5) over the same
+    space, budget, and knobs as :func:`run_deepmd_nsga2`.
+
+    The budget is ``pop_size * (generations + 1)`` — the generational
+    campaign's training count — and the result is rendered as
+    pseudo-generations (one per annealing window) so the §3 analysis
+    stack consumes either mode unchanged.  ``journal`` receives every
+    completed evaluation as it finishes (via the evaluation engine)
+    plus the pseudo-generation records at the end of the run.
+    ``raw_record``, if given, is a list the underlying
+    :class:`SteadyStateRecord` is appended to — the honest accounting
+    (fresh vs cache vs dedup) for callers that report it.
+    """
+    settings = settings or NSGA2Settings()
+    rep = DeepMDRepresentation
+    record = steady_state_nsga2(
+        problem=problem,
+        init_ranges=rep.init_ranges,
+        initial_std=rep.mutation_std,
+        pop_size=settings.pop_size,
+        max_evaluations=settings.pop_size * (settings.generations + 1),
+        client=client,
+        hard_bounds=rep.bounds,
+        decoder=rep.decoder(),
+        individual_cls=RobustIndividual,
+        anneal_factor=settings.anneal_factor,
+        rng=rng,
+        journal=journal,
+        tracer=tracer,
+    )
+    if raw_record is not None:
+        raw_record.append(record)
+    records = steady_state_as_generations(
+        record,
+        pop_size=settings.pop_size,
+        initial_std=rep.mutation_std,
+        anneal_factor=settings.anneal_factor,
+    )
+    for rec in records:
+        if journal is not None:
+            journal.append_generation(rec)
+        if callback is not None:
+            callback(rec)
+    return records

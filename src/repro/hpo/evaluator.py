@@ -25,6 +25,7 @@ from typing import Any, Optional
 import numpy as np
 
 from repro.deepmd.runner import run_training
+from repro.engine.invoke import call_problem, failure_fitness
 from repro.evo.problem import Problem
 from repro.md.dataset import FrameDataset
 
@@ -180,11 +181,9 @@ class DeepMDProblem(Problem):
             )
             exc.metadata = meta  # type: ignore[attr-defined]
             if self.cache is not None:
-                from repro.evo.individual import MAXINT
-
                 self.cache.insert(
                     key,
-                    np.full(self.n_objectives, MAXINT),
+                    failure_fitness(self.n_objectives),
                     metadata=meta,
                     failed=True,
                     error=meta["failure_cause"],
@@ -202,5 +201,5 @@ class DeepMDProblem(Problem):
         return fitness, metadata
 
     def evaluate(self, phenome: dict[str, Any]) -> np.ndarray:
-        fitness, _ = self.evaluate_with_metadata(phenome)
+        fitness, _ = call_problem(self, phenome)
         return fitness

@@ -335,5 +335,7 @@ class SurrogateDeepMDProblem(Problem):
         return model.runtime_minutes(phenome["rcut"], failed=failed)
 
     def evaluate(self, phenome: dict[str, Any]) -> np.ndarray:
-        fitness, _ = self.evaluate_with_metadata(phenome)
+        from repro.engine.invoke import call_problem
+
+        fitness, _ = call_problem(self, phenome)
         return fitness

@@ -24,8 +24,9 @@ from typing import Any, Optional, Sequence
 
 import numpy as np
 
-from repro.evo.individual import MAXINT
+from repro.engine import call_problem, failure_fitness
 from repro.evo.problem import Problem
+from repro.exceptions import MAXINT
 from repro.hpo.representation import DeepMDRepresentation, GENE_NAMES
 from repro.rng import RngLike, ensure_rng
 
@@ -34,14 +35,10 @@ def _evaluate_genome(problem: Problem, genome: np.ndarray) -> np.ndarray:
     """Decode + evaluate, mapping failures to MAXINT (robust OAT)."""
     decoder = DeepMDRepresentation.decoder()
     try:
-        return np.atleast_1d(
-            np.asarray(
-                problem.evaluate(decoder.decode(genome)),
-                dtype=np.float64,
-            )
-        )
+        fitness, _ = call_problem(problem, decoder.decode(genome))
+        return fitness
     except Exception:  # noqa: BLE001 - same contract as the EA
-        return np.full(problem.n_objectives, MAXINT)
+        return failure_fitness(problem.n_objectives)
 
 
 @dataclass

@@ -38,6 +38,7 @@ from typing import Any, Optional
 
 import numpy as np
 
+from repro.engine.invoke import call_problem, failure_fitness
 from repro.evo.problem import Problem
 from repro.exceptions import EvaluationError
 from repro.obs.metrics import MetricsRegistry, get_registry
@@ -398,9 +399,7 @@ class CachedProblem(Problem):
                 "cache_hit": True,
             }
         try:
-            fitness, metadata = _call_with_metadata(
-                self.problem, phenome, uuid
-            )
+            fitness, metadata = call_problem(self.problem, phenome, uuid=uuid)
         except Exception as exc:
             meta = dict(getattr(exc, "metadata", None) or {})
             meta.setdefault("failed", True)
@@ -408,11 +407,9 @@ class CachedProblem(Problem):
                 "failure_cause", f"{type(exc).__name__}: {exc}"
             )
             exc.metadata = meta  # type: ignore[attr-defined]
-            from repro.evo.individual import MAXINT
-
             self.cache.insert(
                 key,
-                np.full(self.n_objectives, MAXINT),
+                failure_fitness(self.n_objectives),
                 metadata=meta,
                 failed=True,
                 error=meta["failure_cause"],
@@ -428,14 +425,5 @@ class CachedProblem(Problem):
         return fitness, metadata
 
     def evaluate(self, phenome: Any) -> np.ndarray:
-        fitness, _ = self.evaluate_with_metadata(phenome)
+        fitness, _ = call_problem(self, phenome)
         return fitness
-
-
-def _call_with_metadata(
-    problem: Any, phenome: Any, uuid: Optional[str]
-) -> tuple[np.ndarray, dict[str, Any]]:
-    if hasattr(problem, "evaluate_with_metadata"):
-        return problem.evaluate_with_metadata(phenome, uuid=uuid)
-    fitness = problem.evaluate(phenome)
-    return np.atleast_1d(np.asarray(fitness, float)), {}

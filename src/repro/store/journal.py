@@ -17,6 +17,11 @@ appends one self-contained record per event as the campaign runs:
     the annealed mutation deviations, failure count, and the EA RNG
     state *after* the generation — appended (flushed and fsynced)
     before the generation is committed to the in-memory record list.
+``evaluation``
+    one completed candidate evaluation (genome, fitness, UUID,
+    metadata) — the steady-state driver's unit of progress, appended
+    by the evaluation engine on every completion since the barrier-free
+    scheme has no generation boundary to commit at.
 ``campaign_end``
     normal completion marker.
 
@@ -209,6 +214,32 @@ class CampaignJournal:
             }
         )
 
+    def append_evaluation(self, individual: Individual) -> None:
+        """The write-ahead commit of one completed evaluation.
+
+        This is the :class:`repro.engine.EvaluationEngine` journal
+        hook: steady-state runs have no generation barrier, so each
+        completion is durable on its own.
+        """
+        if self._run is None:
+            raise RuntimeError(
+                "append_evaluation before begin_run/resume_run"
+            )
+        self._append(
+            {
+                "type": "evaluation",
+                "run": self._run,
+                "genome": [float(g) for g in individual.genome],
+                "fitness": (
+                    None
+                    if individual.fitness is None
+                    else [float(f) for f in individual.fitness]
+                ),
+                "uuid": individual.uuid,
+                "metadata": _json_safe(individual.metadata),
+            }
+        )
+
     def end_run(self, run: int) -> None:
         self._append({"type": "run_end", "run": int(run)})
         self._run = None
@@ -238,6 +269,8 @@ class RunJournalState:
     seed: Optional[int] = None
     #: generation docs keyed by generation index (last write wins)
     generations: dict[int, dict[str, Any]] = field(default_factory=dict)
+    #: per-evaluation docs in completion order (steady-state runs)
+    evaluations: list[dict[str, Any]] = field(default_factory=list)
     complete: bool = False
 
     def contiguous_generations(self) -> list[dict[str, Any]]:
@@ -309,12 +342,30 @@ def read_journal(path: str | Path) -> JournalState:
         elif kind == "generation":
             rs = state.run_state(int(doc["run"]))
             rs.generations[int(doc["generation"])] = doc
+        elif kind == "evaluation":
+            state.run_state(int(doc["run"])).evaluations.append(doc)
         elif kind == "run_end":
             state.run_state(int(doc["run"])).complete = True
         elif kind == "campaign_end":
             state.campaign_complete = True
         # unknown record types from future versions are skipped
     return state
+
+
+def individual_from_doc(
+    doc: dict[str, Any],
+    decoder: Any = None,
+    problem: Any = None,
+) -> RobustIndividual:
+    """Rebuild one journaled ``evaluation`` record as an individual."""
+    ind = RobustIndividual(doc["genome"], decoder=decoder, problem=problem)
+    if doc.get("fitness") is not None:
+        ind.fitness = np.asarray(doc["fitness"], dtype=np.float64)
+    ind.uuid = doc.get("uuid") or ind.uuid
+    ind.metadata = dict(doc.get("metadata") or {})
+    if problem is not None:
+        ind.n_objectives = problem.n_objectives
+    return ind
 
 
 def record_from_doc(

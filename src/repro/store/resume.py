@@ -29,7 +29,7 @@ from repro.evo.algorithm import GenerationRecord, ResumeState
 from repro.evo.problem import Problem
 from repro.exceptions import StoreError
 from repro.hpo.campaign import CampaignConfig, CampaignResult
-from repro.hpo.driver import run_deepmd_nsga2
+from repro.hpo.driver import run_deepmd_nsga2, run_deepmd_steady_state
 from repro.hpo.representation import DeepMDRepresentation
 from repro.obs.trace import get_tracer
 from repro.rng import seeds_for_runs
@@ -115,6 +115,15 @@ def resume_campaign(
     evaluations of the interrupted generation are served from disk.
     The journal keeps being written, so a resumed campaign can itself
     be killed and resumed again.
+
+    Steady-state campaigns (``config.mode == "steady-state"``) resume
+    by *cache-driven replay*: the interrupted run re-executes with its
+    original seed, and every evaluation that finished before the kill
+    — journaled per completion and persisted in the cache — is served
+    without retraining.  With the default inline execution the replay
+    is deterministic; with a client, completion order (and hence the
+    bred genomes past the interruption point) may differ, but finished
+    work is still never re-trained.
     """
     directory = Path(directory)
     jpath = journal_path(directory)
@@ -173,6 +182,39 @@ def resume_campaign(
                 if callback is not None
                 else None
             )
+            if config.mode == "steady-state":
+                # cache-driven replay: same seed, finished evaluations
+                # come back as cache hits, unfinished ones train fresh
+                n_prior = (
+                    len(run_state.evaluations)
+                    if run_state is not None
+                    else 0
+                )
+                if n_prior:
+                    journal.resume_run(run_index, n_prior)
+                    n_resumed += 1
+                else:
+                    journal.begin_run(run_index, int(seed))
+                    n_fresh += 1
+                with trc.span(
+                    "campaign.run",
+                    run=run_index,
+                    seed=int(seed),
+                    mode="steady-state",
+                    replayed_evaluations=n_prior,
+                ):
+                    records = run_deepmd_steady_state(
+                        problem=problem,
+                        settings=config.nsga2_settings(),
+                        client=client,
+                        rng=seed,
+                        callback=cb,
+                        tracer=trc,
+                        journal=journal,
+                    )
+                result.runs.append(records)
+                journal.end_run(run_index)
+                continue
             decoder = DeepMDRepresentation.decoder()
             if not docs:
                 # never started (or nothing committed): run fresh
