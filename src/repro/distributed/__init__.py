@@ -28,7 +28,12 @@ from repro.distributed.future import Future, TaskState
 from repro.distributed.scheduler import Scheduler, TaskRecord
 from repro.distributed.worker import Nanny, Worker
 from repro.distributed.client import Client, LocalCluster
-from repro.distributed.faults import FaultPolicy, NoFaults, RandomFaults
+from repro.distributed.faults import (
+    FaultPolicy,
+    NoFaults,
+    RandomFaults,
+    ScriptedFaults,
+)
 
 __all__ = [
     "Future",
@@ -42,4 +47,5 @@ __all__ = [
     "FaultPolicy",
     "NoFaults",
     "RandomFaults",
+    "ScriptedFaults",
 ]

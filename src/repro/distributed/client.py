@@ -15,6 +15,7 @@ from repro.distributed.faults import FaultPolicy
 from repro.distributed.future import Future
 from repro.distributed.scheduler import Scheduler
 from repro.distributed.worker import Nanny, Worker
+from repro.injection import FaultInjector
 
 
 class Client:
@@ -116,8 +117,17 @@ class LocalCluster:
     ) -> None:
         if n_workers < 1:
             raise ValueError("need at least one worker")
+        # a chaos Injector is both a FaultPolicy (worker deaths) and a
+        # FaultInjector (scheduler-side delays): hand it to both layers
         self.scheduler = Scheduler(
-            max_retries=max_retries, tracer=tracer, metrics=metrics
+            max_retries=max_retries,
+            tracer=tracer,
+            metrics=metrics,
+            fault_injector=(
+                fault_policy
+                if isinstance(fault_policy, FaultInjector)
+                else None
+            ),
         )
         self.use_nannies = use_nannies
         self._members: list[Any] = []

@@ -32,7 +32,11 @@ class RandomFaults(FaultPolicy):
     """Each task execution kills its worker with probability ``rate``.
 
     Optionally capped at ``max_failures`` total so a run cannot lose
-    every worker (thread-safe: the policy is shared across workers).
+    every worker.  The policy is shared across worker threads, so the
+    cap check, the rate draw, and the counter increment happen in one
+    critical section — two workers racing at ``max_failures - 1``
+    cannot both observe headroom and overshoot the cap (and the
+    generator itself is not thread-safe to begin with).
     """
 
     def __init__(
@@ -46,10 +50,12 @@ class RandomFaults(FaultPolicy):
         self.rate = float(rate)
         self.max_failures = max_failures
         self.failures = 0
+        self._seed = rng
         self._rng = ensure_rng(rng)
         self._lock = threading.Lock()
 
     def should_fail(self, worker_name: str, task_index: int) -> bool:
+        # cap check + draw + increment under one lock: atomic per task
         with self._lock:
             if (
                 self.max_failures is not None
@@ -60,6 +66,14 @@ class RandomFaults(FaultPolicy):
                 self.failures += 1
                 return True
             return False
+
+    def reset(self) -> None:
+        """Restart the failure budget (and, when the policy was built
+        from a seed, the random stream) so one policy can drive
+        repeated benchmark runs with identical behavior."""
+        with self._lock:
+            self.failures = 0
+            self._rng = ensure_rng(self._seed)
 
 
 class ScriptedFaults(FaultPolicy):

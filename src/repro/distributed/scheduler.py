@@ -28,6 +28,7 @@ from typing import Any, Callable, Optional
 
 from repro.distributed.future import Future
 from repro.exceptions import SchedulerError, WorkerFailure
+from repro.injection import FaultInjector, get_injector
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import NullTracer, Tracer, get_tracer
 
@@ -80,6 +81,7 @@ class Scheduler:
         worker_grace_seconds: float = 1.0,
         tracer: Optional[NullTracer | Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        fault_injector: Optional[FaultInjector] = None,
     ) -> None:
         self._queue: "queue.Queue[Optional[TaskRecord]]" = queue.Queue()
         self._counter = itertools.count()
@@ -104,6 +106,9 @@ class Scheduler:
         self._c_reassigned = self.metrics.counter(
             "scheduler_reassignments_total"
         )
+        self._c_requeued = self.metrics.counter(
+            "scheduler_tasks_requeued_total"
+        )
         self._c_cached = self.metrics.counter(
             "scheduler_tasks_cached_total"
         )
@@ -117,6 +122,10 @@ class Scheduler:
         #: one cached flag gates every per-task mark/event/histogram so
         #: the disabled (null-tracer) path costs only counter ticks
         self._obs = bool(getattr(self.tracer, "enabled", False))
+        #: chaos seam: submit-delay injection (None outside chaos runs)
+        self._injector = (
+            fault_injector if fault_injector is not None else get_injector()
+        )
 
     # ------------------------------------------------------------------
     # legacy counter API (registry-backed)
@@ -136,6 +145,10 @@ class Scheduler:
     @property
     def reassignments(self) -> int:
         return int(self._c_reassigned.value)
+
+    @property
+    def tasks_requeued(self) -> int:
+        return int(self._c_requeued.value)
 
     @property
     def tasks_cached(self) -> int:
@@ -158,6 +171,14 @@ class Scheduler:
         if self._closed:
             raise SchedulerError("scheduler is closed")
         key = f"task-{next(self._counter)}"
+        if self._injector is not None:
+            delay = self._injector.submit_delay(key)
+            if delay > 0.0:
+                if self._obs:
+                    self.tracer.event(
+                        "task.submit_delayed", task=key, seconds=delay
+                    )
+                time.sleep(delay)
         future = Future(key)
         record = TaskRecord(
             key=key, fn=fn, args=args, kwargs=kwargs, future=future
@@ -330,11 +351,21 @@ class Scheduler:
             return
         record.future.set_pending()
         self._c_reassigned.inc()
+        self._c_requeued.inc()
         if self._obs:
             self.tracer.event(
                 "task.retry",
                 task=record.key,
                 worker=worker_name,
+                attempt=record.attempts,
+            )
+            # recovery-path accounting: the InvariantChecker pairs this
+            # with the task's terminal event to prove requeued work
+            # completed elsewhere
+            self.tracer.event(
+                "task.requeued",
+                task=record.key,
+                from_worker=worker_name,
                 attempt=record.attempts,
             )
             record.mark("queued")
@@ -354,6 +385,7 @@ class Scheduler:
             "completed": self.tasks_completed,
             "failed": self.tasks_failed,
             "reassignments": self.reassignments,
+            "requeued": self.tasks_requeued,
             "cached": self.tasks_cached,
             "workers": n_workers,
         }

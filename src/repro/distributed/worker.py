@@ -24,6 +24,7 @@ from typing import Optional
 from repro.distributed.faults import FaultPolicy, NoFaults
 from repro.distributed.scheduler import Scheduler
 from repro.exceptions import WorkerFailure
+from repro.injection import get_injector
 
 
 class Worker:
@@ -44,7 +45,12 @@ class Worker:
     ) -> None:
         self.scheduler = scheduler
         self.name = name
-        self.fault_policy = fault_policy or NoFaults()
+        # with no explicit policy, a chaos injector installed via
+        # repro.injection drives this worker's faults too
+        self.fault_policy = fault_policy or get_injector() or NoFaults()
+        #: slow-worker hook: only chaos injectors provide delays, plain
+        #: fault policies don't
+        self._delay_of = getattr(self.fault_policy, "worker_delay", None)
         self.tasks_executed = 0
         self._alive = False
         self._stop = threading.Event()
@@ -99,6 +105,18 @@ class Worker:
                         )
                     self.scheduler.worker_died(record, self.name)
                     return
+                if self._delay_of is not None:
+                    # injected straggler: stall before executing
+                    delay = self._delay_of(self.name, self.tasks_executed)
+                    if delay > 0.0:
+                        if obs:
+                            tracer.event(
+                                "worker.slow",
+                                worker=self.name,
+                                task=record.key,
+                                seconds=delay,
+                            )
+                        time.sleep(delay)
                 if obs:
                     self._busy_gauge.inc()
                 try:

@@ -30,6 +30,7 @@ import numpy as np
 from repro.engine.backends import as_backend, evaluate_individual
 from repro.engine.invoke import failure_fitness
 from repro.exceptions import TrainingTimeoutError
+from repro.injection import FaultInjector, get_injector
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.trace import get_tracer
 
@@ -77,7 +78,14 @@ class EngineStats:
 class _InFlight:
     """One submitted representative plus its duplicate followers."""
 
-    __slots__ = ("future", "individual", "followers", "genome_key", "since")
+    __slots__ = (
+        "future",
+        "individual",
+        "followers",
+        "genome_key",
+        "since",
+        "forced_timeout",
+    )
 
     def __init__(
         self, future: Any, individual: Any, genome_key: bytes, since: float
@@ -87,6 +95,9 @@ class _InFlight:
         self.followers: list[Any] = []
         self.genome_key = genome_key
         self.since = since
+        #: chaos: treat this dispatch as overrunning its wall-clock
+        #: budget even if the backend finishes
+        self.forced_timeout = False
 
 
 class EvaluationEngine:
@@ -125,10 +136,16 @@ class EvaluationEngine:
         journal: Any = None,
         tracer: Any = None,
         metrics: Optional[MetricsRegistry] = None,
+        fault_injector: Optional[FaultInjector] = None,
     ) -> None:
         if dedup_scope not in ("batch", "run"):
             raise ValueError("dedup_scope must be 'batch' or 'run'")
         self.backend = as_backend(client)
+        #: chaos seam (None outside chaos runs): consulted once per
+        #: backend dispatch for injected crashes/timeouts
+        self._injector = (
+            fault_injector if fault_injector is not None else get_injector()
+        )
         self.dedup = bool(dedup)
         self.dedup_scope = dedup_scope
         self.timeout = timeout
@@ -171,14 +188,26 @@ class EvaluationEngine:
         if self._cache_probe(individual):
             self._finish(individual, genome_key, cache_fast_path=True)
             return
-        self._inflight.append(
-            _InFlight(
-                self.backend.submit(individual),
-                individual,
-                genome_key,
-                now,
-            )
+        fault = (
+            None
+            if self._injector is None
+            else self._injector.evaluation_fault()
         )
+        if fault is not None and fault.exception is not None:
+            # injected transient evaluator crash: the candidate never
+            # reaches the backend and fails under the MAXINT policy
+            self._apply_failure(individual, fault.exception)
+            self._finish(individual, genome_key)
+            return
+        pending = _InFlight(
+            self.backend.submit(individual),
+            individual,
+            genome_key,
+            now,
+        )
+        if fault is not None and fault.timeout:
+            pending.forced_timeout = True
+        self._inflight.append(pending)
 
     def evaluate(self, individuals: Iterable[Any]) -> list[Any]:
         """Batch mode: resolve every candidate, preserving order.
@@ -339,12 +368,36 @@ class EvaluationEngine:
                 append(individual)
         self._ready.append(individual)
 
+    def _time_out(self, pending: _InFlight, now: float) -> None:
+        individual = pending.individual
+        cancel = getattr(pending.future, "cancel", None)
+        if cancel is not None:
+            cancel()
+        limit = self.timeout if self.timeout is not None else 0.0
+        self._apply_failure(
+            individual,
+            TrainingTimeoutError(now - pending.since, limit),
+        )
+        self.stats.timeouts += 1
+        self._finish(individual, pending.genome_key)
+        for follower in pending.followers:
+            self._resolve_duplicate(follower, individual)
+
     def _pump(self) -> None:
         """Move finished (or timed-out) in-flight work to the ready list."""
         now = time.monotonic()
         still: list[_InFlight] = []
         for pending in self._inflight:
-            if pending.future.done():
+            # a forced (injected) timeout outranks completion: the
+            # engine must enforce its budget even when the backend
+            # races it to the finish line
+            if pending.forced_timeout or (
+                self.timeout is not None
+                and not pending.future.done()
+                and now - pending.since > self.timeout
+            ):
+                self._time_out(pending, now)
+            elif pending.future.done():
                 individual = pending.individual
                 try:
                     result = pending.future.result()
@@ -354,24 +407,6 @@ class EvaluationEngine:
                         individual.metadata = result.metadata
                 except Exception as exc:  # noqa: BLE001 - worker died
                     self._apply_failure(individual, exc)
-                self._finish(individual, pending.genome_key)
-                for follower in pending.followers:
-                    self._resolve_duplicate(follower, individual)
-            elif (
-                self.timeout is not None
-                and now - pending.since > self.timeout
-            ):
-                individual = pending.individual
-                cancel = getattr(pending.future, "cancel", None)
-                if cancel is not None:
-                    cancel()
-                self._apply_failure(
-                    individual,
-                    TrainingTimeoutError(
-                        now - pending.since, self.timeout
-                    ),
-                )
-                self.stats.timeouts += 1
                 self._finish(individual, pending.genome_key)
                 for follower in pending.followers:
                     self._resolve_duplicate(follower, individual)

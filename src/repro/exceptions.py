@@ -46,6 +46,14 @@ class TrainingDivergedError(EvaluationError):
     """Training produced non-finite losses (a fatal hyperparameter combo)."""
 
 
+class InjectedFaultError(EvaluationError):
+    """A transient evaluator crash simulated by the chaos harness.
+
+    Subclasses :class:`EvaluationError` so the engine applies the same
+    exception→MAXINT policy it applies to real evaluator failures.
+    """
+
+
 class ConfigurationError(ReproError):
     """An input configuration is invalid (bad input.json, bad bounds, ...)."""
 

@@ -89,6 +89,64 @@ def _open_cache(args: argparse.Namespace, directory: Any = None):
     )
 
 
+def _chaos_injector(args: argparse.Namespace):
+    """The chaos injector for this invocation, or None.
+
+    ``--chaos-seed N`` draws a seed-deterministic plan of store-layer
+    faults (cache-entry corruption, journal torn writes) — the kinds a
+    single-process CLI campaign can both inject and recover from
+    without changing its result.  The plan is saved next to the
+    journal so a failing run can be replayed exactly.
+    """
+    seed = getattr(args, "chaos_seed", None)
+    if seed is None:
+        return None
+    from repro.chaos import STORE_KINDS, FaultPlan
+
+    plan = FaultPlan.random(
+        seed,
+        kinds=STORE_KINDS,
+        n_faults=4,
+        horizon={"cache_corrupt": 24, "journal_truncate": 12},
+    )
+    save = getattr(args, "save", None) or getattr(args, "directory", None)
+    if save:
+        from pathlib import Path
+
+        plan.save(Path(save) / f"chaos_plan_{seed}.json")
+    return plan.injector()
+
+
+def _print_chaos_report(injector, directory) -> None:
+    """Post-run chaos accounting: what fired, and whether every
+    invariant held on the artifacts the campaign left behind."""
+    if injector is None:
+        return
+    fired = [f"{f.kind}@{f.index}" for f in injector.log]
+    print(f"chaos: {len(fired)} fault(s) fired: {fired or 'none'}")
+    if not directory:
+        return
+    from pathlib import Path
+
+    from repro.chaos import InvariantChecker
+    from repro.store import journal_path
+
+    directory = Path(directory)
+    jpath = journal_path(directory)
+    if not jpath.exists():
+        return
+    cache_dir = directory / "cache"
+    report = InvariantChecker(
+        journal=jpath,
+        cache_dir=cache_dir if cache_dir.exists() else None,
+        injected=injector.log,
+        # a resumed campaign's journal may carry tears from faults
+        # injected before the kill, which this injector never saw
+        expect_torn=True,
+    ).check()
+    print(report.summary())
+
+
 def _print_report(result, plot: bool, export_csv: str | None) -> None:
     """The §3 tables (and optional figures) for a campaign result —
     shared by ``campaign`` and ``resume``."""
@@ -189,36 +247,43 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             "seed": args.seed,
             "steps": args.steps,
         }
-    cache = _open_cache(args, directory=args.save)
-    factory = base_factory
-    if cache is not None:
-        from repro.store import CachedProblem
+    from repro.injection import use_injector
 
-        factory = lambda seed: CachedProblem(base_factory(seed), cache)  # noqa: E731
-    if args.kill_after_evals:
-        inner_factory = factory
-        factory = lambda seed: _KillAfterEvaluations(  # noqa: E731
-            inner_factory(seed), args.kill_after_evals
-        )
-    journal = None
     if args.save:
         from pathlib import Path
 
-        from repro.store import CampaignJournal, journal_path
-
         Path(args.save).mkdir(parents=True, exist_ok=True)
-        journal = CampaignJournal(
-            journal_path(args.save), problem_spec=problem_spec
-        )
-    try:
-        with use_tracer(tracer):
-            campaign = Campaign(
-                factory, config, tracer=tracer, journal=journal
+    injector = _chaos_injector(args)
+    with use_injector(injector):
+        # cache + journal are built inside the chaos scope so their
+        # injection hooks bind to the active plan
+        cache = _open_cache(args, directory=args.save)
+        factory = base_factory
+        if cache is not None:
+            from repro.store import CachedProblem
+
+            factory = lambda seed: CachedProblem(base_factory(seed), cache)  # noqa: E731
+        if args.kill_after_evals:
+            inner_factory = factory
+            factory = lambda seed: _KillAfterEvaluations(  # noqa: E731
+                inner_factory(seed), args.kill_after_evals
             )
-            result = campaign.run()
-    finally:
-        if journal is not None:
-            journal.close()
+        journal = None
+        if args.save:
+            from repro.store import CampaignJournal, journal_path
+
+            journal = CampaignJournal(
+                journal_path(args.save), problem_spec=problem_spec
+            )
+        try:
+            with use_tracer(tracer):
+                campaign = Campaign(
+                    factory, config, tracer=tracer, journal=journal
+                )
+                result = campaign.run()
+        finally:
+            if journal is not None:
+                journal.close()
     if args.trace:
         tracer.close()
         print(
@@ -228,6 +293,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         )
     if cache is not None:
         print(f"evaluation cache: {cache.stats()}")
+    _print_chaos_report(injector, args.save)
     _print_report(result, args.plot, args.export_csv)
     if args.save:
         from repro.io import save_campaign
@@ -244,14 +310,18 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     from repro.obs import NULL_TRACER, Tracer, use_tracer
     from repro.store import resume_campaign
 
+    from repro.injection import use_injector
+
     directory = Path(args.directory)
-    cache = _open_cache(args, directory=directory)
+    injector = _chaos_injector(args)
     tracer = Tracer(args.trace) if args.trace else NULL_TRACER
     try:
-        with use_tracer(tracer):
-            result = resume_campaign(
-                directory, cache=cache, tracer=tracer
-            )
+        with use_injector(injector):
+            cache = _open_cache(args, directory=directory)
+            with use_tracer(tracer):
+                result = resume_campaign(
+                    directory, cache=cache, tracer=tracer
+                )
     except StoreError as exc:
         print(f"cannot resume: {exc}", file=sys.stderr)
         return 1
@@ -260,6 +330,7 @@ def _cmd_resume(args: argparse.Namespace) -> int:
         print(f"trace written to {args.trace}")
     if cache is not None:
         print(f"evaluation cache: {cache.stats()}")
+    _print_chaos_report(injector, directory)
     _print_report(result, args.plot, args.export_csv)
     from repro.io import save_campaign
 
@@ -447,6 +518,17 @@ def main(argv: list[str] | None = None) -> int:
             "simulating a mid-generation crash"
         ),
     )
+    p.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help=(
+            "testing: inject a seed-deterministic plan of store-layer "
+            "faults (cache corruption, journal torn writes) and print "
+            "an invariant report afterwards"
+        ),
+    )
     p.set_defaults(func=_cmd_campaign)
 
     p_resume = sub.add_parser(
@@ -471,6 +553,16 @@ def main(argv: list[str] | None = None) -> int:
         help="capture a span/event trace to this JSONL file",
     )
     _add_cache_flags(p_resume)
+    p_resume.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help=(
+            "testing: inject store-layer faults during the resume "
+            "itself and print an invariant report afterwards"
+        ),
+    )
     p_resume.set_defaults(func=_cmd_resume)
 
     p_trace = sub.add_parser(

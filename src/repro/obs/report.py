@@ -143,6 +143,9 @@ def straggler_summary(
     events = _events(records)
     counts = {
         "retries": sum(1 for e in events if e["name"] == "task.retry"),
+        "requeued": sum(
+            1 for e in events if e["name"] == "task.requeued"
+        ),
         "abandoned": sum(
             1 for e in events if e["name"] == "task.abandoned"
         ),
@@ -228,6 +231,7 @@ def render_trace_report(
         )
         lines.append(
             f"retries: {stragglers['retries']}  "
+            f"requeued: {stragglers['requeued']}  "
             f"abandoned: {stragglers['abandoned']}  "
             f"stranded: {stragglers['stranded']}  "
             f"worker faults: {stragglers['worker_faults']}"

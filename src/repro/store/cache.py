@@ -41,6 +41,7 @@ import numpy as np
 from repro.engine.invoke import call_problem, failure_fitness
 from repro.evo.problem import Problem
 from repro.exceptions import EvaluationError
+from repro.injection import FaultInjector, get_injector
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.trace import get_tracer
 
@@ -171,6 +172,7 @@ class EvaluationCache:
         max_index_entries: int = 4096,
         metrics: Optional[MetricsRegistry] = None,
         tracer: Any = None,
+        fault_injector: Optional[FaultInjector] = None,
     ) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
@@ -187,6 +189,10 @@ class EvaluationCache:
         self._c_inserts = registry.counter("store_cache_inserts_total")
         self._c_skipped = registry.counter(
             "store_cache_skipped_failures_total"
+        )
+        #: chaos seam: entry corruption after insert (None normally)
+        self._injector = (
+            fault_injector if fault_injector is not None else get_injector()
         )
         self._lock = threading.Lock()
         self._index: "OrderedDict[str, CacheEntry]" = OrderedDict()
@@ -304,6 +310,13 @@ class EvaluationCache:
             if tmp.exists():  # pragma: no cover - only on write failure
                 tmp.unlink(missing_ok=True)
         self._index_put(key, entry)
+        if self._injector is not None and self._injector.corrupt_cache_entry(
+            path
+        ):
+            # the disk entry was just garbled; evict the good in-memory
+            # copy too, or lookups would never see the corruption
+            with self._lock:
+                self._index.pop(key, None)
         with self._lock:
             self.inserts += 1
         self._c_inserts.inc()

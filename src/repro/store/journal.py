@@ -48,6 +48,7 @@ import numpy as np
 
 from repro.evo.algorithm import GenerationRecord
 from repro.evo.individual import Individual, RobustIndividual
+from repro.injection import FaultInjector, get_injector
 
 #: journal format version; readers skip records from future versions
 JOURNAL_SCHEMA_VERSION = 1
@@ -143,6 +144,7 @@ class CampaignJournal:
         path: str | Path,
         problem_spec: Optional[dict[str, Any]] = None,
         mode: str = "w",
+        fault_injector: Optional[FaultInjector] = None,
     ) -> None:
         if mode not in ("w", "a"):
             raise ValueError("journal mode must be 'w' or 'a'")
@@ -151,6 +153,10 @@ class CampaignJournal:
         self.problem_spec = dict(problem_spec or {})
         self._file = open(self.path, mode, encoding="utf-8")
         self._run: Optional[int] = None
+        #: chaos seam: torn-write simulation (None normally)
+        self._injector = (
+            fault_injector if fault_injector is not None else get_injector()
+        )
 
     # ------------------------------------------------------------------
     def _append(self, doc: dict[str, Any]) -> None:
@@ -158,6 +164,17 @@ class CampaignJournal:
         self._file.write(line + "\n")
         self._file.flush()
         os.fsync(self._file.fileno())
+        if self._injector is not None:
+            chop = self._injector.journal_truncation()
+            if chop:
+                # simulate a torn write: drop the record's tail.  Later
+                # appends land after the cut, so the garbled text
+                # becomes a mid-file torn record that read_journal
+                # stops at — exactly a crash-during-write artifact.
+                fd = self._file.fileno()
+                size = os.fstat(fd).st_size
+                os.ftruncate(fd, max(0, size - int(chop)))
+                self._file.seek(0, os.SEEK_END)
 
     def begin_campaign(self, config: Any) -> None:
         if dataclasses.is_dataclass(config):

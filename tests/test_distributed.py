@@ -274,3 +274,97 @@ class TestFaultPolicies:
         assert not policy.should_fail("w0", 0)
         assert policy.should_fail("w0", 1)
         assert not policy.should_fail("w1", 1)
+
+    def test_cap_reached_stops_drawing(self):
+        # once the cap is hit the policy must stay quiet even at rate=1
+        policy = RandomFaults(rate=1.0, max_failures=1)
+        assert policy.should_fail("w", 0)
+        assert not any(policy.should_fail("w", i) for i in range(50))
+        assert policy.failures == 1
+
+    def test_zero_rate_never_counts(self):
+        policy = RandomFaults(rate=0.0, max_failures=5)
+        assert not any(policy.should_fail("w", i) for i in range(200))
+        assert policy.failures == 0
+
+    def test_shared_policy_thread_safety(self):
+        # 8 workers hammering one capped policy: exactly max_failures
+        # fire in total — the cap check, draw, and increment are one
+        # critical section
+        policy = RandomFaults(rate=1.0, max_failures=50, rng=0)
+        hits = []
+        barrier = threading.Barrier(8)
+
+        def hammer(name):
+            barrier.wait()
+            count = sum(
+                policy.should_fail(name, i) for i in range(100)
+            )
+            hits.append(count)
+
+        threads = [
+            threading.Thread(target=hammer, args=(f"w{i}",))
+            for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sum(hits) == 50
+        assert policy.failures == 50
+
+    def test_reset_restores_budget_and_stream(self):
+        policy = RandomFaults(rate=0.5, max_failures=3, rng=42)
+        first = [policy.should_fail("w", i) for i in range(40)]
+        assert policy.failures == 3
+        policy.reset()
+        assert policy.failures == 0
+        # seeded policy replays the identical failure pattern
+        assert [policy.should_fail("w", i) for i in range(40)] == first
+
+
+class TestRequeueAccounting:
+    def test_requeued_metric_and_event(self):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        sched = Scheduler(max_retries=2, tracer=tracer)
+        faulty = Worker(sched, "w0", ScriptedFaults({("w0", 0)}))
+        healthy = Worker(sched, "w1")
+        faulty.start()
+        fut = sched.submit(lambda: "ok")
+        time.sleep(0.15)
+        healthy.start()
+        try:
+            assert fut.result(timeout=5) == "ok"
+        finally:
+            sched.close()
+            healthy.stop()
+        stats = sched.stats()
+        assert stats["requeued"] == 1
+        assert sched.tasks_requeued == 1
+        events = tracer.events("task.requeued")
+        assert len(events) == 1
+        assert events[0]["tags"]["from_worker"] == "w0"
+        assert events[0]["tags"]["task"] == "task-0"
+
+    def test_requeued_in_trace_report(self):
+        from repro.obs import Tracer
+        from repro.obs.report import straggler_summary
+
+        tracer = Tracer()
+        sched = Scheduler(max_retries=2, tracer=tracer)
+        faulty = Worker(sched, "w0", ScriptedFaults({("w0", 0)}))
+        healthy = Worker(sched, "w1")
+        faulty.start()
+        fut = sched.submit(lambda: 1)
+        time.sleep(0.15)
+        healthy.start()
+        try:
+            fut.result(timeout=5)
+        finally:
+            sched.close()
+            healthy.stop()
+        summary = straggler_summary(tracer.records)
+        assert summary["requeued"] == 1
+        assert summary["retries"] == 1

@@ -323,6 +323,7 @@ class TestSchedulerLifecycle:
             "completed",
             "failed",
             "reassignments",
+            "requeued",
             "cached",
             "workers",
         }
@@ -330,6 +331,7 @@ class TestSchedulerLifecycle:
         assert sched.tasks_completed == 0
         assert sched.tasks_failed == 0
         assert sched.reassignments == 0
+        assert sched.tasks_requeued == 0
 
     def test_queue_wait_histogram_observed_per_task(self):
         sched = self._traced_scheduler()
