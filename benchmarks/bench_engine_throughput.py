@@ -1,0 +1,141 @@
+"""Experiment ``perf-engine`` — execution-backend throughput.
+
+Measures end-to-end engine throughput (``EvaluationEngine.evaluate``
+over a batch of distinct candidates) for the inline backend and the
+multiprocessing pool backend at several worker counts, on a
+**dispatch-bound** workload: each evaluation sleeps for a fixed
+duration, like a training job that parks on a GPU.  A sleep-bound task
+makes the measurement honest on any host — a 4-worker pool can
+overlap sleeps even on a single-core CI runner, so the speedup
+reflects the backend's dispatch machinery, not the machine's core
+count.
+
+Pool startup (spawning interpreters) is excluded from the timed
+region via a warm-up batch; startup cost is reported separately.
+
+Run standalone (``python benchmarks/bench_engine_throughput.py``) or
+via ``benchmarks/runner.py``, which writes ``BENCH_engine.json`` and
+gates CI on the ``pool4_speedup_vs_inline`` metric.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Optional
+
+import numpy as np
+
+# module-level so the class is importable by spawn-started pool workers
+POOL_WORKER_COUNTS = (1, 4)
+
+
+class SleepProblem:
+    """A problem whose cost is pure wall-clock: sleep, then return a
+    deterministic fitness derived from the phenome (so every backend
+    returns bit-identical results)."""
+
+    n_objectives = 2
+
+    def __init__(self, duration: float = 0.02) -> None:
+        self.duration = float(duration)
+
+    def evaluate(self, phenome: Any) -> np.ndarray:
+        time.sleep(self.duration)
+        g = np.atleast_1d(np.asarray(phenome, dtype=np.float64))
+        return np.array([float(np.sum(g)), float(np.sum(g * g))])
+
+
+def _individuals(problem: SleepProblem, n: int) -> list[Any]:
+    from repro.evo.individual import Individual
+
+    rng = np.random.default_rng(1234)
+    # distinct genomes: nothing collapses onto the dedup path
+    return [Individual(rng.normal(size=3), problem=problem) for _ in range(n)]
+
+
+def _measure(client: Any, problem: SleepProblem, n_tasks: int) -> dict:
+    from repro.engine import EvaluationEngine
+    from repro.obs.metrics import MetricsRegistry
+
+    engine = EvaluationEngine(
+        client=client, metrics=MetricsRegistry(), fault_injector=None
+    )
+    # warm-up: first dispatch pays lazy costs (pool pipes, imports)
+    engine.evaluate(_individuals(problem, 2))
+    batch = _individuals(problem, n_tasks)
+    t0 = time.perf_counter()
+    done = engine.evaluate(batch)
+    wall = time.perf_counter() - t0
+    assert len(done) == n_tasks
+    assert all(ind.fitness is not None for ind in done)
+    return {
+        "wall_s": wall,
+        "evals_per_sec": n_tasks / wall,
+        "fresh": engine.stats.fresh,
+    }
+
+
+def run(quick: bool = False) -> dict:
+    """Execute the bench; returns the machine-readable report dict."""
+    from repro.engine import ProcessPoolBackend
+
+    duration = 0.02 if quick else 0.05
+    n_tasks = 48 if quick else 96
+    problem = SleepProblem(duration=duration)
+
+    results: dict[str, dict] = {}
+    results["inline"] = _measure(None, problem, n_tasks)
+    inline_eps = results["inline"]["evals_per_sec"]
+
+    for workers in POOL_WORKER_COUNTS:
+        t0 = time.perf_counter()
+        with ProcessPoolBackend(workers=workers) as pool:
+            startup = time.perf_counter() - t0
+            entry = _measure(pool, problem, n_tasks)
+        entry["startup_s"] = startup
+        entry["speedup_vs_inline"] = entry["evals_per_sec"] / inline_eps
+        results[f"pool_{workers}"] = entry
+
+    return {
+        "bench": "engine_throughput",
+        "quick": quick,
+        "task_duration_s": duration,
+        "n_tasks": n_tasks,
+        "results": results,
+        # the gateable metrics: same-machine ratios, robust to CI
+        # hardware differences (absolute evals/sec is informational)
+        "metrics": {
+            "pool4_speedup_vs_inline": results["pool_4"][
+                "speedup_vs_inline"
+            ],
+            "pool1_speedup_vs_inline": results["pool_1"][
+                "speedup_vs_inline"
+            ],
+        },
+    }
+
+
+def main(argv: Optional[list] = None) -> int:
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--out", default="BENCH_engine.json")
+    args = parser.parse_args(argv)
+    report = run(quick=args.quick)
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+    for name, entry in report["results"].items():
+        speed = entry.get("speedup_vs_inline")
+        extra = f"  ({speed:.2f}x vs inline)" if speed else ""
+        print(
+            f"{name:10s} {entry['wall_s']:7.2f} s  "
+            f"{entry['evals_per_sec']:7.1f} evals/s{extra}"
+        )
+    print(f"report written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,9 +17,11 @@ evaluation:
   :class:`repro.store.cache.CachedProblem`) so a hit never crosses the
   execution backend or occupies a worker;
 * dispatch through a small :class:`ExecutionBackend` protocol —
-  :class:`InlineBackend` for in-process evaluation or
+  :class:`InlineBackend` for in-process evaluation,
   :class:`ClientBackend` for any ``submit``/futures client (our
-  :class:`repro.distributed.Client` or a real Dask client);
+  :class:`repro.distributed.Client` or a real Dask client), or
+  :class:`ProcessPoolBackend` for real process-level parallelism on
+  one machine;
 * per-evaluation soft timeouts;
 * the §2.2.4 exception→``MAXINT`` failure policy, in exactly one place;
 * tracer spans, metrics counters, and per-evaluation journal hooks;
@@ -41,6 +43,7 @@ from repro.engine.backends import (
 )
 from repro.engine.core import EngineStats, EvaluationEngine
 from repro.engine.invoke import call_problem, failure_fitness
+from repro.engine.pool import ProcessFuture, ProcessPoolBackend
 
 __all__ = [
     "ClientBackend",
@@ -48,6 +51,8 @@ __all__ = [
     "EvaluationEngine",
     "ExecutionBackend",
     "InlineBackend",
+    "ProcessFuture",
+    "ProcessPoolBackend",
     "ResolvedFuture",
     "as_backend",
     "call_problem",

@@ -1,0 +1,474 @@
+"""Process-parallel execution backend.
+
+The paper evaluates one generation as 100 concurrent trainings on 100
+Summit nodes (§2.2.5); the :class:`~repro.engine.backends.InlineBackend`
+evaluates them one after another in the driver's process.  This module
+is the in-between that makes a single-machine campaign scale with
+cores: a :class:`ProcessPoolBackend` implementing the same
+``ExecutionBackend`` protocol on top of a ``multiprocessing`` worker
+pool.
+
+Design constraints, in order:
+
+* **Spawn-safe.**  Workers are started with the ``spawn`` method by
+  default (the only method available everywhere and the only one safe
+  under threads), so every task — the individual, its decoder, and its
+  problem — crosses the process boundary by pickling.  Problems carry
+  locks and caches; the ones shipped with this package implement
+  ``__getstate__`` so they pickle cleanly.
+* **Worker crash is an evaluation failure, not a campaign failure.**
+  A worker that dies mid-task (OOM, segfault, injected chaos) fails
+  only the task it held: the task's future raises
+  :class:`~repro.exceptions.WorkerFailure`, the engine's §2.2.4 policy
+  turns that into a ``MAXINT`` fitness, and the pool replaces the dead
+  worker so capacity is restored.
+* **Per-task deadline.**  The engine's soft timeout cannot stop a
+  worker that is stuck inside an evaluation; ``deadline`` is the hard
+  backend-side limit — an overrunning worker is killed, its task fails
+  with :class:`~repro.exceptions.TrainingTimeoutError`, and a
+  replacement worker is spawned (the paper's 2-hour cap, enforced with
+  SIGKILL).
+* **Chaos passthrough.**  The pool consults the process-wide
+  :mod:`repro.injection` injector at dispatch time with the same
+  ``(worker_name, task_index)`` semantics as the thread cluster:
+  ``worker_delay`` makes the worker sleep before evaluating (slow
+  worker) and ``should_fail`` makes it die mid-evaluation (node
+  failure) — both deterministic for scripted plans.
+* **No shared locks with workers.**  Each worker owns a private duplex
+  pipe; a SIGKILL'd worker can never strand a lock another worker (or
+  the parent) needs.
+
+The parent side is single-threaded: all bookkeeping happens inside
+:meth:`ProcessPoolBackend._drain`, which the engine's poll loop drives
+through ``future.done()``.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.exceptions import (
+    EvaluationError,
+    TrainingTimeoutError,
+    WorkerFailure,
+)
+from repro.injection import FaultInjector, get_injector
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.trace import get_tracer
+
+#: how long close() waits for a worker to exit gracefully
+_JOIN_TIMEOUT = 5.0
+
+
+class RemoteEvaluation:
+    """What comes back over the pipe: the evaluated state, not the
+    individual.  The engine copies ``fitness``/``metadata`` onto its
+    local individual (its ``result is not individual`` branch)."""
+
+    __slots__ = ("fitness", "metadata")
+
+    def __init__(self, fitness: Any, metadata: dict[str, Any]) -> None:
+        self.fitness = fitness
+        self.metadata = metadata
+
+
+def _pool_worker_main(conn: Any) -> None:  # pragma: no cover - subprocess
+    """One worker: recv task → evaluate → send result, until "stop".
+
+    Runs with no injector installed — chaos decisions are made (and
+    counted) once, in the parent, at dispatch time; a forked worker
+    must not fire the plan a second time.
+    """
+    from repro.injection import set_injector
+
+    set_injector(None)
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        if msg[0] == "stop":
+            break
+        _, task_id, payload, delay, die = msg
+        if delay:
+            time.sleep(delay)
+        if die:
+            # injected node failure: die mid-evaluation, before any
+            # result (or partial state) escapes this process
+            os._exit(1)
+        try:
+            individual = pickle.loads(payload)
+            individual.evaluate()
+            reply = (
+                "done",
+                task_id,
+                None
+                if individual.fitness is None
+                else np.asarray(individual.fitness, dtype=np.float64),
+                dict(individual.metadata),
+            )
+        except BaseException as exc:  # noqa: BLE001 - policy is parent-side
+            try:
+                pickle.dumps(exc)
+                reply = ("raised", task_id, exc)
+            except Exception:  # unpicklable exception: ship the repr
+                reply = (
+                    "raised",
+                    task_id,
+                    EvaluationError(f"{type(exc).__name__}: {exc}"),
+                )
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            break
+    conn.close()
+
+
+class ProcessFuture:
+    """Future for one pooled evaluation (the engine's ``FutureLike``)."""
+
+    __slots__ = ("_backend", "task_id", "_result", "_exception", "_resolved")
+
+    def __init__(self, backend: "ProcessPoolBackend", task_id: int) -> None:
+        self._backend = backend
+        self.task_id = task_id
+        self._result: Any = None
+        self._exception: Optional[BaseException] = None
+        self._resolved = False
+
+    def _resolve(
+        self,
+        result: Any = None,
+        exception: Optional[BaseException] = None,
+    ) -> None:
+        self._result = result
+        self._exception = exception
+        self._resolved = True
+
+    def done(self) -> bool:
+        if not self._resolved:
+            self._backend._drain()
+        return self._resolved
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not self._resolved:
+            self._backend._drain()
+            if self._resolved:
+                break
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"pool task {self.task_id} unresolved after {timeout}s"
+                )
+            time.sleep(0.001)
+        if self._exception is not None:
+            raise self._exception
+        return self._result
+
+
+class _WorkerHandle:
+    """Parent-side view of one worker process."""
+
+    __slots__ = (
+        "index",
+        "name",
+        "process",
+        "conn",
+        "busy_task",
+        "dispatched_at",
+        "tasks_dispatched",
+    )
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.name = f"pool-{index}"
+        self.process: Any = None
+        self.conn: Any = None
+        self.busy_task: Optional[int] = None
+        self.dispatched_at = 0.0
+        #: this worker's own task ordinal — the ``task_index`` the
+        #: chaos injector's per-worker windows match against
+        self.tasks_dispatched = 0
+
+
+class ProcessPoolBackend:
+    """Fan evaluations out over a pool of worker *processes*.
+
+    Parameters
+    ----------
+    workers:
+        Pool size (default: ``os.cpu_count()``, at least 2).  The
+        paper's analogue is one Dask worker per Summit node.
+    deadline:
+        Hard per-task wall-clock limit in seconds; an overrunning
+        worker is SIGKILLed and the task fails with
+        :class:`TrainingTimeoutError` (→ ``MAXINT`` under the engine's
+        failure policy).  ``None`` disables backend-side enforcement.
+    start_method:
+        ``"spawn"`` (default, safe everywhere), ``"fork"``, or
+        ``"forkserver"``.
+    fault_injector:
+        Chaos seam; defaults to the process-wide injector of
+        :mod:`repro.injection`, so ``use_injector(plan.injector())``
+        scopes drive pool faults exactly like cluster faults.
+    """
+
+    is_execution_backend = True
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        deadline: Optional[float] = None,
+        start_method: str = "spawn",
+        fault_injector: Optional[FaultInjector] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Any = None,
+    ) -> None:
+        import multiprocessing as mp
+
+        if workers is None:
+            workers = max(2, os.cpu_count() or 1)
+        if workers < 1:
+            raise ValueError("need at least one pool worker")
+        self.n_workers = int(workers)
+        self.deadline = deadline
+        self._ctx = mp.get_context(start_method)
+        self._injector = (
+            fault_injector if fault_injector is not None else get_injector()
+        )
+        self.tracer = tracer if tracer is not None else get_tracer()
+        registry = metrics if metrics is not None else get_registry()
+        self._c_dispatched = registry.counter("pool_tasks_dispatched_total")
+        self._c_deaths = registry.counter("pool_worker_deaths_total")
+        self._c_deadline = registry.counter("pool_deadline_kills_total")
+        self._c_cache = registry.counter("pool_cache_hits_total")
+        registry.gauge("pool_workers").set(self.n_workers)
+        self._queue: list[tuple[int, bytes]] = []  # FIFO of (task_id, payload)
+        self._futures: dict[int, ProcessFuture] = {}
+        self._next_task_id = 0
+        self._closed = False
+        self._workers = [_WorkerHandle(i) for i in range(self.n_workers)]
+        for handle in self._workers:
+            self._spawn(handle)
+
+    # ------------------------------------------------------------------
+    # ExecutionBackend protocol
+    # ------------------------------------------------------------------
+    def submit(self, individual: Any) -> ProcessFuture:
+        if self._closed:
+            raise RuntimeError("ProcessPoolBackend is closed")
+        try:
+            payload = pickle.dumps(
+                individual, protocol=pickle.HIGHEST_PROTOCOL
+            )
+        except Exception as exc:
+            raise TypeError(
+                "individual (genome + decoder + problem) must pickle to "
+                f"cross the process boundary: {exc}"
+            ) from exc
+        task_id = self._next_task_id
+        self._next_task_id += 1
+        future = ProcessFuture(self, task_id)
+        self._futures[task_id] = future
+        self._queue.append((task_id, payload))
+        self._dispatch_idle()
+        return future
+
+    def on_cache_hit(self, individual: Any) -> None:
+        self._c_cache.inc()
+
+    # ------------------------------------------------------------------
+    # worker lifecycle
+    # ------------------------------------------------------------------
+    def _spawn(self, handle: _WorkerHandle) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_pool_worker_main,
+            args=(child_conn,),
+            name=f"repro-{handle.name}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()  # the worker owns the other end now
+        handle.process = process
+        handle.conn = parent_conn
+        handle.busy_task = None
+
+    def _fail_task(self, task_id: int, exc: BaseException) -> None:
+        future = self._futures.pop(task_id, None)
+        if future is not None:
+            future._resolve(exception=exc)
+
+    def _replace(self, handle: _WorkerHandle) -> None:
+        """Bury one worker (dead or killed) and spawn its successor
+        under the same name — per-worker task ordinals keep counting."""
+        try:
+            handle.conn.close()
+        except Exception:  # noqa: BLE001 - already broken
+            pass
+        if handle.process.is_alive():  # deadline kill
+            handle.process.kill()
+        handle.process.join(_JOIN_TIMEOUT)
+        self._c_deaths.inc()
+        self._spawn(handle)
+
+    def _dispatch_idle(self) -> None:
+        """Hand queued tasks to idle workers, lowest index first (the
+        deterministic order scripted chaos plans rely on)."""
+        for handle in self._workers:
+            if not self._queue:
+                return
+            if handle.busy_task is not None:
+                continue
+            task_id, payload = self._queue.pop(0)
+            delay = 0.0
+            die = False
+            if self._injector is not None:
+                delay = self._injector.worker_delay(
+                    handle.name, handle.tasks_dispatched
+                )
+                die = self._injector.should_fail(
+                    handle.name, handle.tasks_dispatched
+                )
+            handle.tasks_dispatched += 1
+            self._c_dispatched.inc()
+            try:
+                handle.conn.send(("task", task_id, payload, delay, die))
+            except (BrokenPipeError, OSError):
+                # worker already gone: fail this task, replace, retry
+                # dispatching the rest on the successor
+                self._fail_task(
+                    task_id,
+                    WorkerFailure(handle.name, "died before dispatch"),
+                )
+                self._replace(handle)
+                continue
+            handle.busy_task = task_id
+            handle.dispatched_at = time.monotonic()
+
+    def _drain(self) -> None:
+        """Collect finished work, bury dead workers, enforce deadlines,
+        and refill idle workers.  Called from the engine's poll loop via
+        ``future.done()`` — always on the driver thread."""
+        now = time.monotonic()
+        for handle in self._workers:
+            # 1. everything the worker managed to send
+            while True:
+                try:
+                    if not handle.conn.poll():
+                        break
+                    msg = handle.conn.recv()
+                except (EOFError, OSError):
+                    break
+                kind, task_id = msg[0], msg[1]
+                future = self._futures.pop(task_id, None)
+                if handle.busy_task == task_id:
+                    handle.busy_task = None
+                if future is None:  # task already failed (e.g. deadline)
+                    continue
+                if kind == "done":
+                    future._resolve(RemoteEvaluation(msg[2], msg[3]))
+                else:  # "raised": re-raise the worker-side exception
+                    future._resolve(exception=msg[2])
+            # 2. death: a busy worker that is gone takes its task down
+            #    (→ WorkerFailure → MAXINT in the engine)
+            if not handle.process.is_alive():
+                if handle.busy_task is not None:
+                    exitcode = handle.process.exitcode
+                    self.tracer.event(
+                        "pool.worker_death",
+                        worker=handle.name,
+                        task=handle.busy_task,
+                        exitcode=exitcode,
+                    )
+                    self._fail_task(
+                        handle.busy_task,
+                        WorkerFailure(
+                            handle.name,
+                            "died mid-evaluation "
+                            f"(exitcode {exitcode})",
+                        ),
+                    )
+                    handle.busy_task = None
+                if not self._closed:
+                    self._replace(handle)
+            # 3. deadline: kill an overrunning worker, fail its task
+            elif (
+                self.deadline is not None
+                and handle.busy_task is not None
+                and now - handle.dispatched_at > self.deadline
+            ):
+                elapsed = now - handle.dispatched_at
+                self.tracer.event(
+                    "pool.deadline_kill",
+                    worker=handle.name,
+                    task=handle.busy_task,
+                    elapsed=elapsed,
+                )
+                self._c_deadline.inc()
+                self._fail_task(
+                    handle.busy_task,
+                    TrainingTimeoutError(elapsed, self.deadline),
+                )
+                handle.busy_task = None
+                self._replace(handle)
+        self._dispatch_idle()
+
+    # ------------------------------------------------------------------
+    # shutdown
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Graceful shutdown: stop workers, fail anything unresolved.
+
+        Safe to call twice.  Queued-but-undispatched and in-flight
+        tasks fail with :class:`WorkerFailure` — under the engine they
+        become ``MAXINT``, they do not hang."""
+        if self._closed:
+            return
+        self._closed = True
+        for task_id, _ in self._queue:
+            self._fail_task(
+                task_id, WorkerFailure("pool", "closed before dispatch")
+            )
+        self._queue.clear()
+        for handle in self._workers:
+            if handle.busy_task is not None:
+                self._fail_task(
+                    handle.busy_task,
+                    WorkerFailure(handle.name, "pool closed mid-task"),
+                )
+                handle.busy_task = None
+            try:
+                handle.conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for handle in self._workers:
+            handle.process.join(_JOIN_TIMEOUT)
+            if handle.process.is_alive():  # pragma: no cover - stuck worker
+                handle.process.kill()
+                handle.process.join(_JOIN_TIMEOUT)
+            try:
+                handle.conn.close()
+            except Exception:  # noqa: BLE001 - already broken
+                pass
+
+    def __enter__(self) -> "ProcessPoolBackend":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:  # noqa: BLE001 - best effort
+            pass

@@ -147,6 +147,65 @@ def _print_chaos_report(injector, directory) -> None:
     print(report.summary())
 
 
+def _resolve_backend_args(args: argparse.Namespace) -> tuple[str, str]:
+    """Split the overloaded ``--backend`` flag into (problem, execution).
+
+    Historically ``--backend`` selected the *problem* (``surrogate`` |
+    ``real``).  It now selects the *execution* backend (``inline`` |
+    ``client`` | ``pool``) while ``--problem`` selects the problem; the
+    old values are still accepted and routed to ``--problem`` so
+    existing invocations keep working.
+    """
+    problem = getattr(args, "problem", None)
+    backend = getattr(args, "backend", None)
+    if backend in ("surrogate", "real"):
+        if problem is not None and problem != backend:
+            print(
+                f"error: --backend {backend} (legacy problem selector) "
+                f"conflicts with --problem {problem}",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+        print(
+            f"note: '--backend {backend}' now means '--problem "
+            f"{backend}'; --backend selects the execution backend "
+            "(inline | client | pool)",
+            file=sys.stderr,
+        )
+        problem = backend
+        backend = "inline"
+    return problem or "surrogate", backend or "inline"
+
+
+def _execution_backend(stack, args: argparse.Namespace, backend: str):
+    """Build the execution backend for ``Campaign(client=...)``, or None.
+
+    ``inline`` evaluates in-process; ``pool`` spawns a real
+    ``multiprocessing`` worker pool (``--pool-workers``, with an
+    optional per-evaluation ``--pool-deadline``); ``client`` runs the
+    simulated thread cluster.  Pool and cluster lifetimes are tied to
+    ``stack`` so workers are torn down even when the campaign raises.
+    Constructed inside the chaos scope so dispatch-time fault hooks
+    bind to the active plan.
+    """
+    workers = getattr(args, "pool_workers", None) or 4
+    if backend == "inline":
+        return None
+    if backend == "pool":
+        from repro.engine import ProcessPoolBackend
+
+        return stack.enter_context(
+            ProcessPoolBackend(
+                workers=workers,
+                deadline=getattr(args, "pool_deadline", None),
+            )
+        )
+    from repro.distributed import LocalCluster
+
+    cluster = stack.enter_context(LocalCluster(n_workers=workers))
+    return cluster.client()
+
+
 def _print_report(result, plot: bool, export_csv: str | None) -> None:
     """The §3 tables (and optional figures) for a campaign result —
     shared by ``campaign`` and ``resume``."""
@@ -228,7 +287,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         mode=args.mode,
     )
     tracer = Tracer(args.trace) if args.trace else NULL_TRACER
-    if args.backend == "surrogate":
+    problem_kind, exec_backend = _resolve_backend_args(args)
+    if problem_kind == "surrogate":
         base_factory = lambda seed: SurrogateDeepMDProblem(seed=seed)  # noqa: E731
         problem_spec = {"backend": "surrogate"}
     else:
@@ -247,6 +307,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             "seed": args.seed,
             "steps": args.steps,
         }
+    import contextlib
+
     from repro.injection import use_injector
 
     if args.save:
@@ -254,9 +316,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
         Path(args.save).mkdir(parents=True, exist_ok=True)
     injector = _chaos_injector(args)
-    with use_injector(injector):
-        # cache + journal are built inside the chaos scope so their
-        # injection hooks bind to the active plan
+    with use_injector(injector), contextlib.ExitStack() as stack:
+        # cache + journal + execution backend are built inside the
+        # chaos scope so their injection hooks bind to the active plan
+        client = _execution_backend(stack, args, exec_backend)
         cache = _open_cache(args, directory=args.save)
         factory = base_factory
         if cache is not None:
@@ -278,7 +341,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         try:
             with use_tracer(tracer):
                 campaign = Campaign(
-                    factory, config, tracer=tracer, journal=journal
+                    factory,
+                    config,
+                    tracer=tracer,
+                    journal=journal,
+                    client=client,
                 )
                 result = campaign.run()
         finally:
@@ -312,15 +379,19 @@ def _cmd_resume(args: argparse.Namespace) -> int:
 
     from repro.injection import use_injector
 
+    import contextlib
+
     directory = Path(args.directory)
     injector = _chaos_injector(args)
     tracer = Tracer(args.trace) if args.trace else NULL_TRACER
+    _, exec_backend = _resolve_backend_args(args)
     try:
-        with use_injector(injector):
+        with use_injector(injector), contextlib.ExitStack() as stack:
+            client = _execution_backend(stack, args, exec_backend)
             cache = _open_cache(args, directory=directory)
             with use_tracer(tracer):
                 result = resume_campaign(
-                    directory, cache=cache, tracer=tracer
+                    directory, cache=cache, tracer=tracer, client=client
                 )
     except StoreError as exc:
         print(f"cannot resume: {exc}", file=sys.stderr)
@@ -428,6 +499,45 @@ def _cmd_nas(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_backend_flags(
+    parser: argparse.ArgumentParser, legacy_problem_values: bool = False
+) -> None:
+    choices = ["inline", "client", "pool"]
+    if legacy_problem_values:
+        # pre-existing scripts pass the problem here; _resolve_backend_args
+        # routes these to --problem with a note
+        choices += ["surrogate", "real"]
+    parser.add_argument(
+        "--backend",
+        choices=choices,
+        default=None,
+        help=(
+            "execution backend: inline (in-process, default), pool "
+            "(multiprocessing worker pool), or client (simulated "
+            "thread cluster)"
+        ),
+    )
+    parser.add_argument(
+        "--pool-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker count for --backend pool/client (default: 4)"
+        ),
+    )
+    parser.add_argument(
+        "--pool-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "pool backend: hard per-evaluation deadline; overruns are "
+            "killed (SIGKILL) and scored MAXINT"
+        ),
+    )
+
+
 def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--cache-dir",
@@ -466,7 +576,16 @@ def main(argv: list[str] | None = None) -> int:
         aliases=["run"],
         help="run a multi-run EA campaign",
     )
-    p.add_argument("--backend", choices=["surrogate", "real"], default="surrogate")
+    p.add_argument(
+        "--problem",
+        choices=["surrogate", "real"],
+        default=None,
+        help=(
+            "fitness landscape: the paper-scale surrogate (default) "
+            "or real scaled-down trainings"
+        ),
+    )
+    _add_backend_flags(p, legacy_problem_values=True)
     p.add_argument(
         "--mode",
         choices=["generational", "steady-state"],
@@ -515,7 +634,9 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help=(
             "testing: hard-exit (137) after N finished evaluations, "
-            "simulating a mid-generation crash"
+            "simulating a mid-generation crash (inline backend only — "
+            "under --backend pool the exit would kill a worker, not "
+            "the campaign)"
         ),
     )
     p.add_argument(
@@ -552,6 +673,7 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="capture a span/event trace to this JSONL file",
     )
+    _add_backend_flags(p_resume)
     _add_cache_flags(p_resume)
     p_resume.add_argument(
         "--chaos-seed",

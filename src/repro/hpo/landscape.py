@@ -148,6 +148,17 @@ class SurrogateDeepMDProblem(Problem):
         self.evaluations = 0
         self.failures = 0
 
+    def __getstate__(self) -> dict[str, Any]:
+        """Spawn-safe pickling for the process-pool backend: the lock
+        stays behind (each process gets its own)."""
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
     def cache_fingerprint(self) -> dict[str, Any]:
         """Identity for the evaluation cache: the surface is fully
         determined by the calibration constants, the worker count, and

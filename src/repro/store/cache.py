@@ -204,6 +204,31 @@ class EvaluationCache:
         self.skipped_failures = 0
 
     # ------------------------------------------------------------------
+    def __getstate__(self) -> dict[str, Any]:
+        """Spawn-safe pickling for the process-pool backend.
+
+        Only the cache *identity* crosses the process boundary: the
+        directory and policy knobs.  The worker-side replica starts
+        with an empty index and fresh per-instance stats, re-resolves
+        tracer/metrics/injector from its own process globals (workers
+        run injector-free — chaos fires once, in the parent), and
+        shares the disk store, whose atomic rename writes are already
+        multi-process safe.
+        """
+        return {
+            "directory": self.directory,
+            "cache_failures": self.cache_failures,
+            "max_index_entries": self.max_index_entries,
+        }
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__init__(
+            state["directory"],
+            cache_failures=state["cache_failures"],
+            max_index_entries=state["max_index_entries"],
+        )
+
+    # ------------------------------------------------------------------
     def _path(self, key: str) -> Path:
         return self.directory / key[:2] / f"{key}.json"
 

@@ -1,0 +1,63 @@
+"""Unit tests for the benchmark regression gate (benchmarks/runner.py).
+
+The gate's comparison logic is pure and cheap, so it is pinned here in
+tier-1 — a broken gate would otherwise only reveal itself by silently
+passing regressions in CI.
+"""
+
+import json
+
+from benchmarks.runner import BASELINES_PATH, check_metrics
+
+
+class TestCheckMetrics:
+    BASE = {
+        "speedup": {"value": 4.0, "direction": "higher", "tolerance": 0.25},
+        "latency": {"value": 10.0, "direction": "lower", "tolerance": 0.25},
+    }
+
+    def test_within_tolerance_passes(self):
+        assert check_metrics({"speedup": 3.2, "latency": 12.0}, self.BASE) == []
+
+    def test_improvement_passes(self):
+        assert check_metrics({"speedup": 9.0, "latency": 1.0}, self.BASE) == []
+
+    def test_higher_metric_regression_fails(self):
+        failures = check_metrics({"speedup": 2.9, "latency": 10.0}, self.BASE)
+        assert len(failures) == 1
+        assert "speedup" in failures[0]
+
+    def test_lower_metric_regression_fails(self):
+        failures = check_metrics({"speedup": 4.0, "latency": 12.6}, self.BASE)
+        assert len(failures) == 1
+        assert "latency" in failures[0]
+
+    def test_missing_measurement_fails_loudly(self):
+        """A renamed metric must not silently disable its gate."""
+        failures = check_metrics({"speedup": 4.0}, self.BASE)
+        assert any("not measured" in f for f in failures)
+
+    def test_extra_measurements_are_informational(self):
+        measured = {"speedup": 4.0, "latency": 10.0, "new_metric": 0.1}
+        assert check_metrics(measured, self.BASE) == []
+
+    def test_default_tolerance_is_25_percent(self):
+        base = {"m": {"value": 100.0, "direction": "higher"}}
+        assert check_metrics({"m": 75.0}, base) == []
+        assert len(check_metrics({"m": 74.9}, base)) == 1
+
+
+class TestCommittedBaselines:
+    def test_baselines_file_is_well_formed(self):
+        doc = json.loads(BASELINES_PATH.read_text())
+        assert doc, "baselines.json must not be empty"
+        for name, spec in doc.items():
+            assert spec["direction"] in ("higher", "lower"), name
+            assert float(spec["value"]) > 0, name
+            assert 0 < float(spec["tolerance"]) < 1, name
+
+    def test_gated_metrics_cover_pool_and_kernels(self):
+        doc = json.loads(BASELINES_PATH.read_text())
+        assert "pool4_speedup_vs_inline" in doc
+        assert "sort_speedup_vectorized" in doc
+        assert "crowding_speedup_vectorized" in doc

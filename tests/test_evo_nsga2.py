@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.context import Context
 from repro.evo.algorithm import (
@@ -377,3 +379,89 @@ class TestGenerationalNSGA2:
                 generations=2, client=cluster.client()
             )
         assert all(ind.is_evaluated for ind in records[-1].population)
+
+
+class TestVectorizedKernelEquivalence:
+    """The vectorized NSGA-II kernels are pinned bit-for-bit to the
+    scalar reference oracle — including duplicate rows and MAXINT
+    failure fitnesses, the two inputs a real campaign produces that
+    random clouds rarely do."""
+
+    @staticmethod
+    def _assert_bit_identical(F):
+        from repro.evo import nsga2
+
+        rs = nsga2.rank_ordinal_sort(F, impl="scalar")
+        rv = nsga2.rank_ordinal_sort(F, impl="vectorized")
+        assert np.array_equal(rs, rv)
+        if len(F):
+            # fast sort is the second oracle for the ranks themselves
+            assert np.array_equal(rs, fast_nondominated_sort(F))
+            ds = nsga2.crowding_distance(F, rs, impl="scalar")
+            dv = nsga2.crowding_distance(F, rs, impl="vectorized")
+            # view as bits: inf==inf and every float is the same float
+            assert np.array_equal(
+                ds.view(np.uint64), dv.view(np.uint64)
+            )
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(-1e6, 1e6, allow_nan=False),
+                st.floats(-1e6, 1e6, allow_nan=False),
+            ),
+            min_size=0,
+            max_size=40,
+        ),
+        st.data(),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_two_objective_random_fronts(self, rows, data):
+        F = np.asarray(rows, dtype=np.float64).reshape(len(rows), 2)
+        n = len(F)
+        if n >= 2:
+            # duplicate some rows and fail some individuals at MAXINT
+            n_dup = data.draw(st.integers(0, n // 2))
+            for _ in range(n_dup):
+                src = data.draw(st.integers(0, n - 1))
+                dst = data.draw(st.integers(0, n - 1))
+                F[dst] = F[src]
+            n_fail = data.draw(st.integers(0, n // 2))
+            for _ in range(n_fail):
+                F[data.draw(st.integers(0, n - 1))] = float(MAXINT)
+        self._assert_bit_identical(F)
+
+    @given(
+        st.integers(1, 25),
+        st.integers(3, 5),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_many_objective_crowding(self, n, m, seed):
+        """3+ objectives share one sort path, but crowding still has
+        two implementations to pin together."""
+        from repro.evo import nsga2
+
+        rng = np.random.default_rng(seed)
+        F = rng.normal(size=(n, m))
+        if n >= 3:
+            F[0] = F[n - 1]  # at least one exact duplicate
+            F[1] = float(MAXINT)
+        ranks = nsga2.rank_ordinal_sort(F)
+        ds = nsga2.crowding_distance(F, ranks, impl="scalar")
+        dv = nsga2.crowding_distance(F, ranks, impl="vectorized")
+        assert np.array_equal(ds.view(np.uint64), dv.view(np.uint64))
+
+    def test_all_identical_rows(self):
+        self._assert_bit_identical(np.zeros((9, 2)))
+
+    def test_all_maxint(self):
+        self._assert_bit_identical(np.full((5, 2), float(MAXINT)))
+
+    def test_unknown_impl_rejected(self):
+        with pytest.raises(ValueError, match="impl"):
+            rank_ordinal_sort(np.zeros((2, 2)), impl="simd")
+        with pytest.raises(ValueError, match="impl"):
+            crowding_distance(
+                np.zeros((2, 2)), np.ones(2, dtype=int), impl="gpu"
+            )

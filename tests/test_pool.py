@@ -1,0 +1,246 @@
+"""Process-pool backend tests: protocol, equivalence, chaos, resume.
+
+Spawn-started workers re-import every class a task references, so all
+problems used here live at module level (or come from ``repro``
+itself) — a locally-defined problem would fail to pickle, which is
+itself covered by a test.
+
+Worker startup is real interpreter startup (~1 s each), so the suite
+keeps pools small (1–2 workers) and reuses one campaign per scenario.
+"""
+
+import pickle
+import time
+
+import numpy as np
+import pytest
+
+from repro.chaos import Fault, FaultPlan, InvariantChecker
+from repro.engine import (
+    EvaluationEngine,
+    ProcessPoolBackend,
+    as_backend,
+)
+from repro.evo.individual import MAXINT, Individual
+from repro.exceptions import TrainingTimeoutError, WorkerFailure
+from repro.hpo.campaign import Campaign, CampaignConfig
+from repro.hpo.landscape import SurrogateDeepMDProblem
+from repro.injection import use_injector
+from repro.obs.metrics import MetricsRegistry
+from repro.store.cache import CachedProblem, EvaluationCache
+from repro.store.journal import CampaignJournal, journal_path
+from repro.store.resume import resume_campaign
+
+CFG = CampaignConfig(n_runs=1, pop_size=6, generations=2, base_seed=11)
+
+
+class SleepyProblem:
+    """Picklable problem that sleeps long enough to trip a deadline."""
+
+    n_objectives = 2
+
+    def __init__(self, duration: float) -> None:
+        self.duration = duration
+
+    def evaluate(self, phenome):
+        time.sleep(self.duration)
+        return np.array([1.0, 2.0])
+
+
+def _surrogate_individuals(n, seed=0):
+    from repro.evo.algorithm import random_initial_population
+    from repro.hpo.representation import DeepMDRepresentation
+
+    return random_initial_population(
+        n,
+        DeepMDRepresentation.init_ranges,
+        SurrogateDeepMDProblem(seed=seed),
+        decoder=DeepMDRepresentation.decoder(),
+        rng=seed,
+    )
+
+
+def _evals(result):
+    return sorted(
+        (
+            tuple(float(g) for g in ind.genome),
+            tuple(float(f) for f in np.atleast_1d(ind.fitness)),
+        )
+        for run in result.runs
+        for rec in run
+        for ind in rec.evaluated
+    )
+
+
+def _front(result):
+    return sorted(
+        (tuple(ind.genome), tuple(ind.fitness))
+        for ind in result.aggregate_pareto_front()
+    )
+
+
+class TestProtocol:
+    def test_is_execution_backend(self):
+        assert ProcessPoolBackend.is_execution_backend
+        with ProcessPoolBackend(workers=1) as pool:
+            # a pool instance passes through as_backend untouched, so
+            # drivers accept it via the existing client= parameter
+            assert as_backend(pool) is pool
+
+    def test_unpicklable_submission_is_a_clear_typeerror(self):
+        class Local:  # noqa: F841 - deliberately unpicklable
+            n_objectives = 2
+
+            def evaluate(self, phenome):
+                return np.zeros(2)
+
+        with ProcessPoolBackend(workers=1) as pool:
+            with pytest.raises(TypeError, match="pickle"):
+                pool.submit(Individual(np.zeros(2), problem=Local()))
+
+    def test_close_is_idempotent_and_fails_inflight(self):
+        pool = ProcessPoolBackend(workers=1)
+        future = pool.submit(
+            Individual(np.zeros(2), problem=SleepyProblem(30.0))
+        )
+        time.sleep(0.1)
+        pool.close()
+        pool.close()
+        with pytest.raises(WorkerFailure):
+            future.result(timeout=1.0)
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.submit(Individual(np.zeros(2)))
+
+    def test_problem_state_survives_pickling(self):
+        """A pickled replica evaluates every phenome identically —
+        including phenomes the landscape deterministically fails."""
+
+        def outcome(problem, phenome):
+            try:
+                return tuple(np.asarray(problem.evaluate(phenome)))
+            except Exception as exc:  # noqa: BLE001 - part of the landscape
+                return repr(exc)
+
+        problem = SurrogateDeepMDProblem(seed=3)
+        clone = pickle.loads(pickle.dumps(problem))
+        for ind in _surrogate_individuals(6, seed=5):
+            phenome = ind.decode()
+            assert outcome(problem, phenome) == outcome(clone, phenome)
+
+
+class TestEngineIntegration:
+    def test_pool_results_bit_identical_to_inline(self):
+        inline = EvaluationEngine(metrics=MetricsRegistry())
+        done_inline = inline.evaluate(_surrogate_individuals(8))
+        with ProcessPoolBackend(workers=2) as pool:
+            engine = EvaluationEngine(
+                client=pool, metrics=MetricsRegistry()
+            )
+            done_pool = engine.evaluate(_surrogate_individuals(8))
+        for a, b in zip(done_inline, done_pool):
+            assert np.array_equal(a.fitness, b.fitness)
+            assert a.metadata == b.metadata
+
+    def test_deadline_overrun_becomes_maxint(self):
+        with ProcessPoolBackend(workers=1, deadline=0.3) as pool:
+            engine = EvaluationEngine(
+                client=pool, metrics=MetricsRegistry()
+            )
+            done = engine.evaluate(
+                [Individual(np.zeros(2), problem=SleepyProblem(30.0))]
+            )
+        (ind,) = done
+        assert np.all(ind.fitness == MAXINT)
+        assert "TrainingTimeoutError" in ind.metadata["error"]
+
+    def test_deadline_error_surfaces_without_engine(self):
+        with ProcessPoolBackend(workers=1, deadline=0.3) as pool:
+            future = pool.submit(
+                Individual(np.zeros(2), problem=SleepyProblem(30.0))
+            )
+            with pytest.raises(TrainingTimeoutError):
+                future.result(timeout=15.0)
+
+
+class TestCampaignEquivalence:
+    def test_generational_pool_front_matches_inline(self):
+        factory = lambda seed: SurrogateDeepMDProblem(seed=seed)  # noqa: E731
+        inline = Campaign(factory, CFG).run()
+        with ProcessPoolBackend(workers=2) as pool:
+            pooled = Campaign(factory, CFG, client=pool).run()
+        assert _evals(inline) == _evals(pooled)
+        assert _front(inline) == _front(pooled)
+
+
+class TestPoolChaos:
+    def test_worker_death_yields_maxint_and_clean_invariants(
+        self, tmp_path
+    ):
+        """A worker SIGKILLed mid-evaluation fails only its task
+        (→ MAXINT), the campaign completes with clean store invariants,
+        and a journal resume reproduces it bit-identically."""
+        plan = FaultPlan([Fault(kind="worker_death", at=2)])
+        injector = plan.injector()
+        cache = EvaluationCache(tmp_path / "cache")
+        journal = CampaignJournal(
+            journal_path(tmp_path), problem_spec={"backend": "surrogate"}
+        )
+
+        def factory(seed):
+            return CachedProblem(SurrogateDeepMDProblem(seed=seed), cache)
+
+        try:
+            # one worker: dispatch order == submission order, so the
+            # fault window (3rd dispatched task) is deterministic
+            with use_injector(injector), ProcessPoolBackend(
+                workers=1, metrics=MetricsRegistry()
+            ) as pool:
+                result = Campaign(
+                    factory, CFG, client=pool, journal=journal
+                ).run()
+        finally:
+            journal.close()
+
+        assert [(f.kind, f.index) for f in injector.log] == [
+            ("worker_death", 2)
+        ]
+        failed = [
+            ind
+            for run in result.runs
+            for rec in run
+            for ind in rec.evaluated
+            if not ind.is_viable
+        ]
+        assert len(failed) == 1
+        assert np.all(failed[0].fitness == MAXINT)
+        assert "pool-0" in failed[0].metadata["error"]
+
+        report = InvariantChecker(
+            journal=journal_path(tmp_path),
+            cache_dir=tmp_path / "cache",
+            injected=injector.log,
+        ).check()
+        assert report.ok, report.summary()
+
+        resumed = resume_campaign(tmp_path, cache=cache)
+        assert _evals(resumed) == _evals(result)
+        assert _front(resumed) == _front(result)
+
+    def test_injected_delay_only_slows(self):
+        """slow_worker faults change wall-clock, never results."""
+        baseline = EvaluationEngine(metrics=MetricsRegistry()).evaluate(
+            _surrogate_individuals(3)
+        )
+        plan = FaultPlan(
+            [Fault(kind="slow_worker", at=0, count=2, seconds=0.05)]
+        )
+        with use_injector(plan.injector()):
+            with ProcessPoolBackend(
+                workers=1, metrics=MetricsRegistry()
+            ) as pool:
+                engine = EvaluationEngine(
+                    client=pool, metrics=MetricsRegistry()
+                )
+                done = engine.evaluate(_surrogate_individuals(3))
+        for a, b in zip(baseline, done):
+            assert np.array_equal(a.fitness, b.fitness)
