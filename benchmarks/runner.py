@@ -37,12 +37,15 @@ BASELINES_PATH = Path(__file__).parent / "baselines.json"
 BENCHES = {
     "engine": "BENCH_engine.json",
     "nsga2": "BENCH_nsga2.json",
+    "obs": "BENCH_obs.json",
 }
 
 
 def _run_bench(name: str, quick: bool) -> dict:
     if name == "engine":
         from benchmarks.bench_engine_throughput import run
+    elif name == "obs":
+        from benchmarks.bench_obs_overhead import run
     else:
         from benchmarks.bench_nsga2_kernels import run
     return run(quick=quick)

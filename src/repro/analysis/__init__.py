@@ -34,6 +34,7 @@ from repro.analysis.asciiplot import (
     ascii_density,
     ascii_histogram,
     ascii_scatter,
+    sparkline,
 )
 
 __all__ = [
@@ -51,4 +52,5 @@ __all__ = [
     "ascii_density",
     "ascii_scatter",
     "ascii_histogram",
+    "sparkline",
 ]

@@ -116,6 +116,38 @@ def ascii_scatter(
     return "\n".join(lines)
 
 
+#: sparkline glyphs from low to high
+_SPARKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """A one-line unicode trend (the monitor's hypervolume series).
+
+    Non-finite values render as spaces; a flat series renders at the
+    lowest level so "no change" and "no data" look different.  Series
+    longer than ``width`` keep the most recent ``width`` points.
+    """
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return ""
+    arr = arr[-width:]
+    finite = arr[np.isfinite(arr)]
+    if finite.size == 0:
+        return " " * arr.size
+    lo, hi = float(finite.min()), float(finite.max())
+    span = hi - lo
+    chars = []
+    for v in arr:
+        if not np.isfinite(v):
+            chars.append(" ")
+        elif span <= 0:
+            chars.append(_SPARKS[0])
+        else:
+            level = int((v - lo) / span * (len(_SPARKS) - 1))
+            chars.append(_SPARKS[level])
+    return "".join(chars)
+
+
 def ascii_histogram(
     values: np.ndarray,
     bins: int = 20,

@@ -60,7 +60,14 @@ def hypervolume_progress(
 ) -> np.ndarray:
     """Dominated hypervolume of the pooled selected population per
     generation — a single monotone-ish convergence curve for the whole
-    campaign (complements the per-objective medians)."""
+    campaign (complements the per-objective medians).
+
+    Every entry is finite: degenerate generations (no viable
+    individuals, all-MAXINT fitnesses, non-finite losses) contribute
+    0.0 rather than NaN/Inf — the live ``campaign_hypervolume`` gauge
+    and the strict-JSON ``/status`` series both feed from the same
+    math and must never emit a non-finite value.
+    """
     from repro.mo.dominance import non_dominated_mask
     from repro.mo.metrics import hypervolume_2d
 
@@ -76,8 +83,14 @@ def hypervolume_progress(
         ]
         if not pooled:
             continue
-        F = np.asarray([ind.fitness for ind in pooled])
-        out[g] = hypervolume_2d(F[non_dominated_mask(F)], reference)
+        F = np.asarray(
+            [ind.fitness for ind in pooled], dtype=np.float64
+        )
+        F = F[np.all(np.isfinite(F), axis=1)]
+        if not len(F):
+            continue
+        hv = hypervolume_2d(F[non_dominated_mask(F)], reference)
+        out[g] = hv if np.isfinite(hv) else 0.0
     return out
 
 

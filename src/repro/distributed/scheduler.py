@@ -113,6 +113,8 @@ class Scheduler:
             "scheduler_tasks_cached_total"
         )
         self._g_workers = self.metrics.gauge("scheduler_workers")
+        #: sampled on every enqueue/dequeue transition (live plane)
+        self._g_queue_depth = self.metrics.gauge("scheduler_queue_depth")
         self._h_queue_wait = self.metrics.histogram(
             "scheduler_task_queue_wait_seconds"
         )
@@ -189,6 +191,7 @@ class Scheduler:
             self.tracer.event("task.submit", task=key)
             record.mark("queued")
         self._queue.put(record)
+        self._g_queue_depth.set(self._queue.qsize())
         # a submission onto a worker-less scheduler must not wait
         # forever either: arm the same grace timer used on last-worker
         # death, so the task fails unless a worker registers in time
@@ -270,6 +273,7 @@ class Scheduler:
             )
         # one batched update instead of a lock round-trip per record
         self._c_failed.inc(len(drained))
+        self._g_queue_depth.set(self._queue.qsize())
         self.tracer.event(
             "task.stranded", count=len(drained), last_worker=last_worker
         )
@@ -288,6 +292,7 @@ class Scheduler:
         if record is None:  # shutdown sentinel: re-emit for siblings
             self._queue.put(None)
             return None
+        self._g_queue_depth.set(self._queue.qsize())
         if self._obs:
             queued_at = record.last("queued")
             started = record.mark("running")
@@ -370,6 +375,7 @@ class Scheduler:
             )
             record.mark("queued")
         self._queue.put(record)
+        self._g_queue_depth.set(self._queue.qsize())
 
     # ------------------------------------------------------------------
     def close(self) -> None:

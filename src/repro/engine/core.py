@@ -158,6 +158,9 @@ class EvaluationEngine:
         self._c_cache = registry.counter("engine_cache_hits_total")
         self._c_dedup = registry.counter("engine_dedup_hits_total")
         self._c_failures = registry.counter("engine_failures_total")
+        #: sampled on every submit/pump transition for the live plane
+        self._g_inflight = registry.gauge("engine_inflight")
+        self._g_ready = registry.gauge("engine_ready")
         self.stats = EngineStats()
         self._inflight: list[_InFlight] = []
         self._ready: list[Any] = []
@@ -208,6 +211,7 @@ class EvaluationEngine:
         if fault is not None and fault.timeout:
             pending.forced_timeout = True
         self._inflight.append(pending)
+        self._sample_gauges()
 
     def evaluate(self, individuals: Iterable[Any]) -> list[Any]:
         """Batch mode: resolve every candidate, preserving order.
@@ -272,6 +276,11 @@ class EvaluationEngine:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    def _sample_gauges(self) -> None:
+        """Refresh the in-flight / ready gauges (every transition)."""
+        self._g_inflight.set(len(self._inflight))
+        self._g_ready.set(len(self._ready))
+
     @staticmethod
     def _genome_key(individual: Any) -> Optional[bytes]:
         genome = getattr(individual, "genome", None)
@@ -367,6 +376,11 @@ class EvaluationEngine:
             if append is not None:
                 append(individual)
         self._ready.append(individual)
+        from repro.obs.live import get_status
+
+        status = get_status()
+        if status.enabled:
+            status.publish_engine(self.stats)
 
     def _time_out(self, pending: _InFlight, now: float) -> None:
         individual = pending.individual
@@ -413,3 +427,4 @@ class EvaluationEngine:
             else:
                 still.append(pending)
         self._inflight = still
+        self._sample_gauges()

@@ -77,12 +77,22 @@ class RemoteEvaluation:
         self.metadata = metadata
 
 
-def _pool_worker_main(conn: Any) -> None:  # pragma: no cover - subprocess
+def _pool_worker_main(
+    conn: Any, worker_name: str = "pool-?"
+) -> None:  # pragma: no cover - subprocess
     """One worker: recv task → evaluate → send result, until "stop".
 
     Runs with no injector installed — chaos decisions are made (and
     counted) once, in the parent, at dispatch time; a forked worker
     must not fire the plan a second time.
+
+    When the parent's tracer is enabled, each evaluation is recorded
+    worker-side as a plain ``worker.task`` span dict (tagged with the
+    worker and task key, like thread-worker spans) and shipped back
+    with the result over the same duplex pipe; the parent merges it
+    into its trace via :meth:`repro.obs.trace.Tracer.ingest`.
+    ``time.monotonic()`` is CLOCK_MONOTONIC, shared across processes
+    on one host, so worker span timestamps line up with the parent's.
     """
     from repro.injection import set_injector
 
@@ -94,13 +104,16 @@ def _pool_worker_main(conn: Any) -> None:  # pragma: no cover - subprocess
             break
         if msg[0] == "stop":
             break
-        _, task_id, payload, delay, die = msg
+        _, task_id, payload, delay, die, trace = msg
         if delay:
             time.sleep(delay)
         if die:
             # injected node failure: die mid-evaluation, before any
             # result (or partial state) escapes this process
             os._exit(1)
+        ts = time.time()
+        mono = time.monotonic()
+        error: str | None = None
         try:
             individual = pickle.loads(payload)
             individual.evaluate()
@@ -113,6 +126,7 @@ def _pool_worker_main(conn: Any) -> None:  # pragma: no cover - subprocess
                 dict(individual.metadata),
             )
         except BaseException as exc:  # noqa: BLE001 - policy is parent-side
+            error = type(exc).__name__
             try:
                 pickle.dumps(exc)
                 reply = ("raised", task_id, exc)
@@ -122,8 +136,31 @@ def _pool_worker_main(conn: Any) -> None:  # pragma: no cover - subprocess
                     task_id,
                     EvaluationError(f"{type(exc).__name__}: {exc}"),
                 )
+        records: list[dict[str, Any]] = []
+        if trace:
+            tags: dict[str, Any] = {
+                "worker": worker_name,
+                "task": f"pool-task-{task_id}",
+                "pid": os.getpid(),
+            }
+            if error is not None:
+                tags["error"] = error
+            records.append(
+                {
+                    "type": "span",
+                    "name": "worker.task",
+                    "id": 0,  # reassigned by Tracer.ingest
+                    "parent": None,
+                    "ts": ts,
+                    "mono": mono,
+                    "dur": time.monotonic() - mono,
+                    "status": "err" if error is not None else "ok",
+                    "thread": worker_name,
+                    "tags": tags,
+                }
+            )
         try:
-            conn.send(reply)
+            conn.send(reply + (records,))
         except (BrokenPipeError, OSError):
             break
     conn.close()
@@ -182,6 +219,7 @@ class _WorkerHandle:
         "busy_task",
         "dispatched_at",
         "tasks_dispatched",
+        "respawns",
     )
 
     def __init__(self, index: int) -> None:
@@ -194,6 +232,8 @@ class _WorkerHandle:
         #: this worker's own task ordinal — the ``task_index`` the
         #: chaos injector's per-worker windows match against
         self.tasks_dispatched = 0
+        #: how many successors were spawned under this name
+        self.respawns = 0
 
 
 class ProcessPoolBackend:
@@ -245,9 +285,13 @@ class ProcessPoolBackend:
         registry = metrics if metrics is not None else get_registry()
         self._c_dispatched = registry.counter("pool_tasks_dispatched_total")
         self._c_deaths = registry.counter("pool_worker_deaths_total")
+        self._c_respawns = registry.counter("pool_worker_respawns_total")
         self._c_deadline = registry.counter("pool_deadline_kills_total")
         self._c_cache = registry.counter("pool_cache_hits_total")
         registry.gauge("pool_workers").set(self.n_workers)
+        #: sampled on every submit/dispatch/drain transition
+        self._g_queue = registry.gauge("pool_queue_depth")
+        self._g_busy = registry.gauge("pool_busy_workers")
         self._queue: list[tuple[int, bytes]] = []  # FIFO of (task_id, payload)
         self._futures: dict[int, ProcessFuture] = {}
         self._next_task_id = 0
@@ -255,6 +299,41 @@ class ProcessPoolBackend:
         self._workers = [_WorkerHandle(i) for i in range(self.n_workers)]
         for handle in self._workers:
             self._spawn(handle)
+            self._publish_worker(handle, "idle")
+        self._sample_gauges()
+
+    # ------------------------------------------------------------------
+    # live-plane helpers
+    # ------------------------------------------------------------------
+    def _sample_gauges(self) -> None:
+        """Refresh the queue-depth / busy-workers gauges (called on
+        every submit/dispatch/drain transition)."""
+        self._g_queue.set(len(self._queue))
+        self._g_busy.set(
+            sum(1 for h in self._workers if h.busy_task is not None)
+        )
+
+    def _publish_worker(
+        self,
+        handle: _WorkerHandle,
+        state: str,
+        task: Optional[int] = None,
+    ) -> None:
+        """Per-worker liveness for the ``/status`` endpoint (no-op
+        unless a live :class:`~repro.obs.live.CampaignStatus` is
+        installed)."""
+        from repro.obs.live import get_status
+
+        status = get_status()
+        if status.enabled:
+            status.worker_update(
+                handle.name,
+                state=state,
+                task=None if task is None else f"pool-task-{task}",
+                tasks_dispatched=handle.tasks_dispatched,
+                respawns=handle.respawns,
+                pid=getattr(handle.process, "pid", None),
+            )
 
     # ------------------------------------------------------------------
     # ExecutionBackend protocol
@@ -273,10 +352,17 @@ class ProcessPoolBackend:
             ) from exc
         task_id = self._next_task_id
         self._next_task_id += 1
+        if getattr(self.tracer, "enabled", False):
+            # the submit instant the report joins worker spans against
+            # (queue wait = span start - this event)
+            self.tracer.event(
+                "task.submit", task=f"pool-task-{task_id}"
+            )
         future = ProcessFuture(self, task_id)
         self._futures[task_id] = future
         self._queue.append((task_id, payload))
         self._dispatch_idle()
+        self._sample_gauges()
         return future
 
     def on_cache_hit(self, individual: Any) -> None:
@@ -289,7 +375,7 @@ class ProcessPoolBackend:
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         process = self._ctx.Process(
             target=_pool_worker_main,
-            args=(child_conn,),
+            args=(child_conn, handle.name),
             name=f"repro-{handle.name}",
             daemon=True,
         )
@@ -316,6 +402,14 @@ class ProcessPoolBackend:
         handle.process.join(_JOIN_TIMEOUT)
         self._c_deaths.inc()
         self._spawn(handle)
+        handle.respawns += 1
+        self._c_respawns.inc()
+        self.tracer.event(
+            "pool.worker_respawn",
+            worker=handle.name,
+            respawns=handle.respawns,
+        )
+        self._publish_worker(handle, "idle")
 
     def _dispatch_idle(self) -> None:
         """Hand queued tasks to idle workers, lowest index first (the
@@ -335,10 +429,30 @@ class ProcessPoolBackend:
                 die = self._injector.should_fail(
                     handle.name, handle.tasks_dispatched
                 )
+            trace = bool(getattr(self.tracer, "enabled", False))
+            if trace:
+                task_key = f"pool-task-{task_id}"
+                if delay > 0.0:
+                    # chaos firing: injected straggler, decided here
+                    self.tracer.event(
+                        "worker.slow",
+                        worker=handle.name,
+                        task=task_key,
+                        seconds=delay,
+                    )
+                if die:
+                    # chaos firing: this dispatch will kill the worker
+                    self.tracer.event(
+                        "worker.fault",
+                        worker=handle.name,
+                        task=task_key,
+                    )
             handle.tasks_dispatched += 1
             self._c_dispatched.inc()
             try:
-                handle.conn.send(("task", task_id, payload, delay, die))
+                handle.conn.send(
+                    ("task", task_id, payload, delay, die, trace)
+                )
             except (BrokenPipeError, OSError):
                 # worker already gone: fail this task, replace, retry
                 # dispatching the rest on the successor
@@ -350,6 +464,7 @@ class ProcessPoolBackend:
                 continue
             handle.busy_task = task_id
             handle.dispatched_at = time.monotonic()
+            self._publish_worker(handle, "busy", task=task_id)
 
     def _drain(self) -> None:
         """Collect finished work, bury dead workers, enforce deadlines,
@@ -366,9 +481,16 @@ class ProcessPoolBackend:
                 except (EOFError, OSError):
                     break
                 kind, task_id = msg[0], msg[1]
+                # last element is the worker-side trace record list;
+                # merge it into the parent stream with fresh span ids
+                records = msg[-1]
+                if records and getattr(self.tracer, "enabled", False):
+                    for rec in records:
+                        self.tracer.ingest(rec)
                 future = self._futures.pop(task_id, None)
                 if handle.busy_task == task_id:
                     handle.busy_task = None
+                    self._publish_worker(handle, "idle")
                 if future is None:  # task already failed (e.g. deadline)
                     continue
                 if kind == "done":
@@ -385,6 +507,9 @@ class ProcessPoolBackend:
                         worker=handle.name,
                         task=handle.busy_task,
                         exitcode=exitcode,
+                    )
+                    self._publish_worker(
+                        handle, "dead", task=handle.busy_task
                     )
                     self._fail_task(
                         handle.busy_task,
@@ -418,6 +543,7 @@ class ProcessPoolBackend:
                 handle.busy_task = None
                 self._replace(handle)
         self._dispatch_idle()
+        self._sample_gauges()
 
     # ------------------------------------------------------------------
     # shutdown

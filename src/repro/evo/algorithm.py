@@ -41,6 +41,7 @@ from repro.evo.nsga2 import (
     rank_ordinal_sort_op,
 )
 from repro.evo.problem import Problem
+from repro.obs.live import ConvergenceTelemetry
 from repro.obs.trace import NullTracer, Tracer, get_tracer
 from repro.rng import RngLike, ensure_rng
 
@@ -180,6 +181,8 @@ def generational_nsga2(
     """
     trc = tracer if tracer is not None else get_tracer()
     ctx = context if context is not None else Context()
+    #: campaign-fixed reference point → comparable hypervolume gauges
+    telemetry = ConvergenceTelemetry()
     eng = (
         engine
         if engine is not None
@@ -228,6 +231,12 @@ def generational_nsga2(
             journal.append_generation(
                 records[0], rng_state=_capture_rng_state(gen_rng)
             )
+        telemetry.observe_generation(
+            0,
+            records[0].population,
+            evaluated=len(records[0].evaluated),
+            failures=records[0].n_failures,
+        )
         if callback is not None:
             callback(records[0])
         start_generation = 1
@@ -268,6 +277,12 @@ def generational_nsga2(
                 record, rng_state=_capture_rng_state(gen_rng)
             )
         records.append(record)
+        telemetry.observe_generation(
+            generation,
+            record.population,
+            evaluated=len(record.evaluated),
+            failures=record.n_failures,
+        )
         if callback is not None:
             callback(record)
     return records

@@ -34,6 +34,7 @@ from repro.evo.decoder import Decoder
 from repro.evo.individual import Individual, RobustIndividual
 from repro.evo.nsga2 import nsga2_select
 from repro.evo.problem import Problem
+from repro.obs.live import ConvergenceTelemetry
 from repro.obs.trace import get_tracer
 from repro.rng import RngLike, ensure_rng
 
@@ -138,6 +139,9 @@ def steady_state_nsga2(
     start = time.monotonic()
     before = eng.stats.copy()
     record = SteadyStateRecord(population=[])
+    #: annealing windows are the steady-state generational analogue;
+    #: convergence is published at each window boundary and at the end
+    telemetry = ConvergenceTelemetry()
     with trc.span(
         "ea.steady_state", budget=max_evaluations, pop_size=pop_size
     ) as span:
@@ -156,6 +160,11 @@ def steady_state_nsga2(
                     population = nsga2_select(population, pop_size)
                 if completions % anneal_every == 0:
                     schedule.step()
+                    telemetry.observe_generation(
+                        completions // anneal_every - 1,
+                        population,
+                        completions=completions,
+                    )
                 if submitted < max_evaluations:
                     eng.submit(breed(population))
                     submitted += 1
@@ -163,6 +172,12 @@ def steady_state_nsga2(
                     callback(evaluated, completions)
         record.population = nsga2_select(
             population, min(pop_size, len(population))
+        )
+        # final convergence point: the selected end-of-run population
+        telemetry.observe_generation(
+            max(0, (completions - 1) // anneal_every),
+            record.population,
+            completions=completions,
         )
         used = eng.stats.delta(before)
         record.evaluations = used.fresh

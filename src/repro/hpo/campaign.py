@@ -23,6 +23,7 @@ from repro.hpo.driver import (
     run_deepmd_steady_state,
 )
 from repro.mo.pareto import pareto_front
+from repro.obs.live import get_status
 from repro.obs.trace import NullTracer, Tracer, get_tracer
 from repro.rng import seeds_for_runs
 
@@ -167,6 +168,15 @@ class Campaign:
             generations=self.config.generations,
             seed=self.config.base_seed,
         )
+        status = get_status()
+        if status.enabled:
+            status.update(
+                mode=self.config.mode,
+                n_runs=self.config.n_runs,
+                pop_size=self.config.pop_size,
+                generations=self.config.generations,
+                base_seed=self.config.base_seed,
+            )
         if self.journal is not None:
             self.journal.begin_campaign(self.config)
         for run_index, seed in enumerate(seeds):
@@ -178,6 +188,8 @@ class Campaign:
             )
             if self.journal is not None:
                 self.journal.begin_run(run_index, int(seed))
+            if status.enabled:
+                status.begin_run(run_index, seed=int(seed))
             with self.tracer.span(
                 "campaign.run",
                 run=run_index,

@@ -206,6 +206,66 @@ def _execution_backend(stack, args: argparse.Namespace, backend: str):
     return cluster.client()
 
 
+def _start_observability(stack, args: argparse.Namespace, tracer):
+    """Start the live /metrics + /status plane, or return None.
+
+    Enabled by ``--serve-metrics PORT``: installs a process-wide
+    :class:`~repro.obs.live.CampaignStatus` (scoped to ``stack``) so
+    the drivers/engine/pool publish into it, and serves it together
+    with the registry's Prometheus export over HTTP.  The server is
+    torn down when ``stack`` unwinds; ``--serve-linger`` holds it open
+    after a completed campaign (see :func:`_finish_observability`).
+    """
+    port = getattr(args, "serve_metrics", None)
+    if port is None:
+        return None
+    from repro.obs import (
+        CampaignStatus,
+        ObservabilityServer,
+        use_status,
+    )
+
+    campaign_id = getattr(tracer, "campaign_id", None)
+    if campaign_id is None:  # untraced run: still identify the campaign
+        import uuid
+
+        campaign_id = uuid.uuid4().hex[:12]
+    status = CampaignStatus(campaign_id=campaign_id)
+    stack.enter_context(use_status(status))
+    server = ObservabilityServer(
+        port=port,
+        status=status,
+        tracer=tracer if getattr(tracer, "enabled", False) else None,
+    )
+    stack.callback(server.close)
+    server.start()
+    print(
+        f"serving live observability at {server.url} "
+        "(/metrics, /status)",
+        file=sys.stderr,
+    )
+    return status, server
+
+
+def _finish_observability(serve, args: argparse.Namespace) -> None:
+    """Campaign completed: mark the status done and optionally hold
+    the endpoint open so scrapers/monitors can read the final state."""
+    if serve is None:
+        return
+    status, server = serve
+    status.mark_done()
+    linger = getattr(args, "serve_linger", None) or 0.0
+    if linger > 0:
+        import time
+
+        print(
+            f"campaign done; serving {server.url} for "
+            f"{linger:g}s more (--serve-linger)",
+            file=sys.stderr,
+        )
+        time.sleep(linger)
+
+
 def _print_report(result, plot: bool, export_csv: str | None) -> None:
     """The §3 tables (and optional figures) for a campaign result —
     shared by ``campaign`` and ``resume``."""
@@ -317,6 +377,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         Path(args.save).mkdir(parents=True, exist_ok=True)
     injector = _chaos_injector(args)
     with use_injector(injector), contextlib.ExitStack() as stack:
+        # the tracer scope must wrap backend construction: the pool
+        # binds get_tracer() when built, so entering it later would
+        # leave pool events on the null tracer
+        stack.enter_context(use_tracer(tracer))
+        serve = _start_observability(stack, args, tracer)
         # cache + journal + execution backend are built inside the
         # chaos scope so their injection hooks bind to the active plan
         client = _execution_backend(stack, args, exec_backend)
@@ -339,15 +404,15 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 journal_path(args.save), problem_spec=problem_spec
             )
         try:
-            with use_tracer(tracer):
-                campaign = Campaign(
-                    factory,
-                    config,
-                    tracer=tracer,
-                    journal=journal,
-                    client=client,
-                )
-                result = campaign.run()
+            campaign = Campaign(
+                factory,
+                config,
+                tracer=tracer,
+                journal=journal,
+                client=client,
+            )
+            result = campaign.run()
+            _finish_observability(serve, args)
         finally:
             if journal is not None:
                 journal.close()
@@ -387,12 +452,16 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     _, exec_backend = _resolve_backend_args(args)
     try:
         with use_injector(injector), contextlib.ExitStack() as stack:
+            # same ordering as `campaign`: tracer + status scopes wrap
+            # backend construction
+            stack.enter_context(use_tracer(tracer))
+            serve = _start_observability(stack, args, tracer)
             client = _execution_backend(stack, args, exec_backend)
             cache = _open_cache(args, directory=directory)
-            with use_tracer(tracer):
-                result = resume_campaign(
-                    directory, cache=cache, tracer=tracer, client=client
-                )
+            result = resume_campaign(
+                directory, cache=cache, tracer=tracer, client=client
+            )
+            _finish_observability(serve, args)
     except StoreError as exc:
         print(f"cannot resume: {exc}", file=sys.stderr)
         return 1
@@ -425,6 +494,119 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         return 1
     print(render_trace_report(records, top=args.top))
     return 0
+
+
+def _render_dashboard(snapshot: dict) -> str:
+    """One frame of the ``repro-hpo monitor`` dashboard."""
+    from repro.analysis import format_table, sparkline
+
+    lines: list[str] = []
+    lines.append(
+        f"campaign {snapshot.get('campaign') or '?'}  "
+        f"mode {snapshot.get('mode') or '?'}  "
+        f"state {snapshot.get('state', '?')}  "
+        f"run {snapshot.get('run')}  "
+        f"generation {snapshot.get('generation')}"
+    )
+    lines.append(
+        f"elapsed {snapshot.get('elapsed_s', 0.0):g}s  "
+        f"evals/sec {snapshot.get('evals_per_sec', 0.0):g}  "
+        f"cache-hit {100 * snapshot.get('cache_hit_rate', 0.0):.1f}%  "
+        f"dedup {100 * snapshot.get('dedup_rate', 0.0):.1f}%"
+    )
+    series = snapshot.get("hypervolume_series") or []
+    if series:
+        values = [
+            float(entry.get("hypervolume") or 0.0) for entry in series
+        ]
+        last = series[-1]
+        lines.append("")
+        lines.append(
+            f"hypervolume {sparkline(values)}  "
+            f"latest {values[-1]:.6g} "
+            f"(front {last.get('front_size', 0)}, "
+            f"{len(series)} point(s))"
+        )
+    front = snapshot.get("front") or []
+    if front:
+        lines.append(f"nondominated front: {len(front)} solution(s)")
+    engine = snapshot.get("engine") or {}
+    if engine:
+        lines.append(
+            "engine: "
+            f"submitted {engine.get('submitted', 0)}  "
+            f"completed {engine.get('completed', 0)}  "
+            f"fresh {engine.get('fresh', 0)}  "
+            f"failures {engine.get('failures', 0)}"
+        )
+    workers = snapshot.get("workers") or {}
+    if workers:
+        rows = [
+            {
+                "worker": name,
+                "state": info.get("state", "?"),
+                "task": info.get("task") or "-",
+                "dispatched": info.get("tasks_dispatched", 0),
+                "respawns": info.get("respawns", 0),
+            }
+            for name, info in sorted(workers.items())
+        ]
+        lines.append("")
+        lines.append(format_table(rows, title="workers"))
+    stragglers = snapshot.get("stragglers") or {}
+    slowest = stragglers.get("slowest") or []
+    if slowest:
+        lines.append("")
+        lines.append(format_table(slowest, title="slowest tasks"))
+        lines.append(
+            f"retries: {stragglers.get('retries', 0)}  "
+            f"requeued: {stragglers.get('requeued', 0)}  "
+            f"pool deaths: {stragglers.get('pool_worker_deaths', 0)}  "
+            f"pool respawns: {stragglers.get('pool_respawns', 0)}"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    """Poll a live campaign's ``/status`` and render a dashboard."""
+    import json
+    import time
+    import urllib.error
+    import urllib.request
+
+    url = args.url
+    if "://" not in url:
+        url = f"http://{url}"
+    url = url.rstrip("/")
+    if url.endswith("/status"):
+        url = url[: -len("/status")]
+    status_url = f"{url}/status"
+    failures = 0
+    while True:
+        try:
+            with urllib.request.urlopen(
+                status_url, timeout=args.timeout
+            ) as resp:
+                snapshot = json.loads(resp.read().decode("utf-8"))
+            failures = 0
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            failures += 1
+            print(
+                f"monitor: cannot read {status_url}: {exc}",
+                file=sys.stderr,
+            )
+            if args.once or failures > args.max_failures:
+                return 1
+            time.sleep(args.interval)
+            continue
+        if not args.once:
+            # ANSI clear + home: a live dashboard, not a scrolling log
+            sys.stdout.write("\x1b[2J\x1b[H")
+        print(_render_dashboard(snapshot))
+        sys.stdout.flush()
+        if args.once or snapshot.get("state") == "done":
+            return 0
+        time.sleep(args.interval)
 
 
 def _cmd_sensitivity(args: argparse.Namespace) -> int:
@@ -538,6 +720,32 @@ def _add_backend_flags(
     )
 
 
+def _add_serve_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--serve-metrics",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help=(
+            "serve live observability over HTTP while the campaign "
+            "runs: /metrics (Prometheus text) and /status (JSON "
+            "snapshot with the hypervolume series); PORT 0 binds an "
+            "ephemeral port (printed on stderr)"
+        ),
+    )
+    parser.add_argument(
+        "--serve-linger",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help=(
+            "keep the --serve-metrics endpoint up this long after the "
+            "campaign completes (lets scrapers and 'repro-hpo "
+            "monitor' read the final state)"
+        ),
+    )
+
+
 def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--cache-dir",
@@ -626,6 +834,7 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="capture a span/event trace to this JSONL file",
     )
+    _add_serve_flags(p)
     _add_cache_flags(p)
     p.add_argument(
         "--kill-after-evals",
@@ -674,6 +883,7 @@ def main(argv: list[str] | None = None) -> int:
         help="capture a span/event trace to this JSONL file",
     )
     _add_backend_flags(p_resume)
+    _add_serve_flags(p_resume)
     _add_cache_flags(p_resume)
     p_resume.add_argument(
         "--chaos-seed",
@@ -699,6 +909,51 @@ def main(argv: list[str] | None = None) -> int:
         "--top", type=int, default=5, help="how many stragglers to list"
     )
     p_trace.set_defaults(func=_cmd_trace)
+
+    p_mon = sub.add_parser(
+        "monitor",
+        help=(
+            "live ASCII dashboard for a campaign serving "
+            "--serve-metrics (polls its /status endpoint)"
+        ),
+    )
+    p_mon.add_argument(
+        "url",
+        help=(
+            "base URL of the campaign's observability endpoint, e.g. "
+            "http://127.0.0.1:9100 (a /status suffix is accepted)"
+        ),
+    )
+    p_mon.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="poll period (default: 1s)",
+    )
+    p_mon.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single frame and exit (no screen clearing)",
+    )
+    p_mon.add_argument(
+        "--timeout",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="per-request HTTP timeout",
+    )
+    p_mon.add_argument(
+        "--max-failures",
+        type=int,
+        default=5,
+        metavar="N",
+        help=(
+            "give up after this many consecutive unreachable polls "
+            "(the campaign probably exited)"
+        ),
+    )
+    p_mon.set_defaults(func=_cmd_monitor)
 
     p_sens = sub.add_parser(
         "sensitivity", help="OAT + Morris screening of the genes"

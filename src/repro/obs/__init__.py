@@ -13,7 +13,13 @@ instead:
   Prometheus text format;
 * :mod:`repro.obs.report` — trace-file analysis: wall-clock breakdown,
   worker utilization, and straggler/retry summaries (the
-  ``repro-hpo trace`` subcommand).
+  ``repro-hpo trace`` subcommand);
+* :mod:`repro.obs.live` — the live plane: a thread-safe
+  :class:`CampaignStatus` snapshot the drivers publish into,
+  :class:`ConvergenceTelemetry` (per-generation hypervolume / front
+  gauges), and the :class:`ObservabilityServer` serving ``/metrics``
+  and ``/status`` over HTTP (``repro-hpo run --serve-metrics PORT``,
+  watched live with ``repro-hpo monitor``).
 
 The scheduler, workers, client, cluster simulation, trainer, EA loop,
 and campaign driver are all instrumented; enable capture by installing
@@ -23,12 +29,24 @@ a tracer::
     set_tracer(Tracer("runs/campaign-trace.jsonl"))
 """
 
+from repro.obs.live import (
+    DEFAULT_REFERENCE_POINT,
+    NULL_STATUS,
+    CampaignStatus,
+    ConvergenceTelemetry,
+    NullCampaignStatus,
+    ObservabilityServer,
+    get_status,
+    set_status,
+    use_status,
+)
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    escape_label_value,
     get_registry,
 )
 from repro.obs.trace import (
@@ -55,7 +73,17 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
+    "escape_label_value",
     "get_registry",
+    "CampaignStatus",
+    "NullCampaignStatus",
+    "NULL_STATUS",
+    "ConvergenceTelemetry",
+    "ObservabilityServer",
+    "DEFAULT_REFERENCE_POINT",
+    "get_status",
+    "set_status",
+    "use_status",
     "Span",
     "Tracer",
     "NullTracer",

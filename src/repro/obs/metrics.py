@@ -42,9 +42,59 @@ DEFAULT_BUCKETS: tuple[float, ...] = (
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
 
+#: the Prometheus data model: metric names match
+#: ``[a-zA-Z_:][a-zA-Z0-9_:]*``, label names the same minus colons
+_VALID_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_VALID_LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
 
 def _prom_name(name: str) -> str:
-    return _NAME_RE.sub("_", name)
+    name = _NAME_RE.sub("_", name)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value for the text exposition format.
+
+    Backslash, double-quote, and newline are the three characters the
+    format reserves inside quoted label values; anything else (UTF-8
+    included) passes through unchanged.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _render_labels(labels: dict[str, str], extra: str = "") -> str:
+    """``{k="v",...}`` with escaped values (empty string for none)."""
+    pairs = [
+        f'{k}="{escape_label_value(v)}"' for k, v in sorted(labels.items())
+    ]
+    if extra:
+        pairs.append(extra)
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def _validate_series(name: str, labels: dict[str, str]) -> None:
+    # dots are a supported legacy spelling ("wait.seconds") that the
+    # exporter deterministically maps to underscores; validate what
+    # the scrape will actually see
+    if not _VALID_METRIC_NAME.match(name.replace(".", "_")):
+        raise ValueError(
+            f"invalid Prometheus metric name {name!r} "
+            "(must match [a-zA-Z_:][a-zA-Z0-9_:]*)"
+        )
+    for label in labels:
+        if not _VALID_LABEL_NAME.match(label):
+            raise ValueError(
+                f"invalid Prometheus label name {label!r} "
+                "(must match [a-zA-Z_][a-zA-Z0-9_]*)"
+            )
 
 
 class Counter:
@@ -56,10 +106,13 @@ class Counter:
     fractional increments go through a lock.
     """
 
-    __slots__ = ("name", "_ticks", "_lock", "_bulk")
+    __slots__ = ("name", "labels", "_ticks", "_lock", "_bulk")
 
-    def __init__(self, name: str) -> None:
+    def __init__(
+        self, name: str, labels: Optional[dict[str, str]] = None
+    ) -> None:
         self.name = name
+        self.labels = dict(labels or {})
         self._ticks = itertools.count()
         self._lock = threading.Lock()
         self._bulk = 0.0
@@ -89,10 +142,13 @@ class Gauge:
     rebase through a lock.
     """
 
-    __slots__ = ("name", "_ups", "_downs", "_lock", "_base")
+    __slots__ = ("name", "labels", "_ups", "_downs", "_lock", "_base")
 
-    def __init__(self, name: str) -> None:
+    def __init__(
+        self, name: str, labels: Optional[dict[str, str]] = None
+    ) -> None:
         self.name = name
+        self.labels = dict(labels or {})
         self._ups = itertools.count()
         self._downs = itertools.count()
         self._lock = threading.Lock()
@@ -132,12 +188,24 @@ class Histogram:
     the tail.  ``observe`` is a bisect plus two adds.
     """
 
-    __slots__ = ("name", "buckets", "_lock", "_counts", "_sum", "_count")
+    __slots__ = (
+        "name",
+        "labels",
+        "buckets",
+        "_lock",
+        "_counts",
+        "_sum",
+        "_count",
+    )
 
     def __init__(
-        self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        labels: Optional[dict[str, str]] = None,
     ) -> None:
         self.name = name
+        self.labels = dict(labels or {})
         self.buckets = tuple(sorted(float(b) for b in buckets))
         if not self.buckets:
             raise ValueError("need at least one bucket bound")
@@ -201,39 +269,59 @@ class Histogram:
 class MetricsRegistry:
     """Get-or-create registry of named metrics.
 
-    Re-requesting a name returns the same instrument (so modules can
-    grab handles independently); requesting an existing name as a
-    different kind raises.
+    Re-requesting a name (with the same labels) returns the same
+    instrument (so modules can grab handles independently); requesting
+    an existing series as a different kind raises.  Metric and label
+    names are validated against the Prometheus charset at creation —
+    better a loud ``ValueError`` at the instrumentation site than a
+    scrape that silently fails to parse.  Label *values* are free-form;
+    the exporter escapes them.
     """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._metrics: dict[str, Counter | Gauge | Histogram] = {}
 
-    def _get_or_create(self, name: str, kind, *args) -> Any:
+    def _get_or_create(
+        self,
+        name: str,
+        kind,
+        *args,
+        labels: Optional[dict[str, str]] = None,
+    ) -> Any:
+        labels = {str(k): str(v) for k, v in (labels or {}).items()}
+        _validate_series(name, labels)
+        key = name + _render_labels(labels)
         with self._lock:
-            metric = self._metrics.get(name)
+            metric = self._metrics.get(key)
             if metric is None:
-                metric = kind(name, *args)
-                self._metrics[name] = metric
+                metric = kind(name, *args, labels=labels)
+                self._metrics[key] = metric
             elif not isinstance(metric, kind):
                 raise ValueError(
-                    f"metric {name!r} already registered as "
+                    f"metric {key!r} already registered as "
                     f"{type(metric).__name__}"
                 )
             return metric
 
-    def counter(self, name: str) -> Counter:
-        return self._get_or_create(name, Counter)
+    def counter(
+        self, name: str, labels: Optional[dict[str, str]] = None
+    ) -> Counter:
+        return self._get_or_create(name, Counter, labels=labels)
 
-    def gauge(self, name: str) -> Gauge:
-        return self._get_or_create(name, Gauge)
+    def gauge(
+        self, name: str, labels: Optional[dict[str, str]] = None
+    ) -> Gauge:
+        return self._get_or_create(name, Gauge, labels=labels)
 
     def histogram(
-        self, name: str, buckets: Optional[Sequence[float]] = None
+        self,
+        name: str,
+        buckets: Optional[Sequence[float]] = None,
+        labels: Optional[dict[str, str]] = None,
     ) -> Histogram:
         return self._get_or_create(
-            name, Histogram, buckets or DEFAULT_BUCKETS
+            name, Histogram, buckets or DEFAULT_BUCKETS, labels=labels
         )
 
     def names(self) -> list[str]:
@@ -255,32 +343,47 @@ class MetricsRegistry:
         return out
 
     def to_prometheus(self) -> str:
-        """Prometheus text exposition (version 0.0.4) of every metric."""
+        """Prometheus text exposition (version 0.0.4) of every metric.
+
+        Labeled series of the same metric name share one ``# TYPE``
+        header; label values are escaped per the format's rules
+        (backslash, double-quote, newline).
+        """
         with self._lock:
             metrics = dict(self._metrics)
         lines: list[str] = []
-        for name in sorted(metrics):
-            metric = metrics[name]
-            pname = _prom_name(name)
+        typed: set[str] = set()
+        for key in sorted(metrics):
+            metric = metrics[key]
+            pname = _prom_name(metric.name)
+            labels = _render_labels(metric.labels)
             if isinstance(metric, Counter):
-                lines.append(f"# TYPE {pname} counter")
-                lines.append(f"{pname} {metric.value:g}")
+                if pname not in typed:
+                    lines.append(f"# TYPE {pname} counter")
+                    typed.add(pname)
+                lines.append(f"{pname}{labels} {metric.value:g}")
             elif isinstance(metric, Gauge):
-                lines.append(f"# TYPE {pname} gauge")
-                lines.append(f"{pname} {metric.value:g}")
+                if pname not in typed:
+                    lines.append(f"# TYPE {pname} gauge")
+                    typed.add(pname)
+                lines.append(f"{pname}{labels} {metric.value:g}")
             else:
-                lines.append(f"# TYPE {pname} histogram")
+                if pname not in typed:
+                    lines.append(f"# TYPE {pname} histogram")
+                    typed.add(pname)
                 summary = metric.summary()
                 cumulative = 0
                 for bound in metric.buckets:
                     cumulative += summary["buckets"][str(bound)]
-                    lines.append(
-                        f'{pname}_bucket{{le="{bound:g}"}} {cumulative}'
+                    le = _render_labels(
+                        metric.labels, extra=f'le="{bound:g}"'
                     )
+                    lines.append(f"{pname}_bucket{le} {cumulative}")
                 cumulative += summary["buckets"]["+Inf"]
-                lines.append(f'{pname}_bucket{{le="+Inf"}} {cumulative}')
-                lines.append(f"{pname}_sum {summary['sum']:g}")
-                lines.append(f"{pname}_count {summary['count']}")
+                le = _render_labels(metric.labels, extra='le="+Inf"')
+                lines.append(f"{pname}_bucket{le} {cumulative}")
+                lines.append(f"{pname}_sum{labels} {summary['sum']:g}")
+                lines.append(f"{pname}_count{labels} {summary['count']}")
         return "\n".join(lines) + ("\n" if lines else "")
 
 

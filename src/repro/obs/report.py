@@ -160,6 +160,17 @@ def straggler_summary(
         "node_failures": sum(
             1 for e in events if e["name"] == "sim.node_failure"
         ),
+        # pool-backend fault path (PR 6 records these; the report must
+        # surface them or pool campaigns under-report their faults)
+        "pool_worker_deaths": sum(
+            1 for e in events if e["name"] == "pool.worker_death"
+        ),
+        "pool_respawns": sum(
+            1 for e in events if e["name"] == "pool.worker_respawn"
+        ),
+        "pool_deadline_kills": sum(
+            1 for e in events if e["name"] == "pool.deadline_kill"
+        ),
     }
     return {
         "n_tasks": len(task_spans),
@@ -236,6 +247,17 @@ def render_trace_report(
             f"stranded: {stragglers['stranded']}  "
             f"worker faults: {stragglers['worker_faults']}"
         )
+        if (
+            stragglers["pool_worker_deaths"]
+            or stragglers["pool_respawns"]
+            or stragglers["pool_deadline_kills"]
+        ):
+            lines.append(
+                f"pool: worker deaths: "
+                f"{stragglers['pool_worker_deaths']}  "
+                f"respawns: {stragglers['pool_respawns']}  "
+                f"deadline kills: {stragglers['pool_deadline_kills']}"
+            )
         lines.append("")
         lines.append(
             format_table(stragglers["slowest"], title="slowest tasks")

@@ -154,6 +154,9 @@ class NullTracer:
     def event(self, name: str, **tags: Any) -> None:
         return None
 
+    def ingest(self, record: dict[str, Any]) -> None:
+        return None
+
     def flush(self) -> None:
         return None
 
@@ -249,6 +252,25 @@ class Tracer:
                 "tags": tags,
             }
         )
+
+    def ingest(self, record: dict[str, Any]) -> None:
+        """Merge a record produced in *another process* into this
+        stream.
+
+        Pool workers trace their evaluations locally (plain span/event
+        dicts, no tracer machinery) and ship the records back over
+        their result pipe; the parent ingests them here.  Span ids are
+        reassigned from this tracer's counter so foreign ids can never
+        collide with local ones, and the parent link is dropped —
+        cross-process spans are roots that join the rest of the trace
+        by their ``worker``/``task`` tags, exactly like thread-worker
+        spans.
+        """
+        rec = dict(record)
+        if rec.get("type") == "span":
+            rec["id"] = self._next_id()
+        rec["parent"] = None
+        self._record(rec)
 
     def _record(self, rec: dict[str, Any]) -> None:
         rec = _json_safe(rec)

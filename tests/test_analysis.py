@@ -1,5 +1,7 @@
 """Tests for the table/figure regeneration layer (repro.analysis)."""
 
+from types import SimpleNamespace
+
 import numpy as np
 import pytest
 
@@ -9,8 +11,11 @@ from repro.analysis import (
     frontier_table,
     generation_level_plots,
     parallel_coordinates,
+    sparkline,
     table3_rows,
 )
+from repro.analysis.convergence import hypervolume_progress
+from repro.evo import MAXINT, Individual
 from repro.analysis.levelplot import CULL_ENERGY_MAX, CULL_FORCE_MAX
 from repro.hpo.campaign import Campaign, CampaignConfig
 from repro.hpo.landscape import SurrogateDeepMDProblem
@@ -191,6 +196,110 @@ class TestConvergence:
     def test_iqr_shrinks(self, campaign_result):
         summary = convergence_summary(campaign_result)
         assert summary.iqr_force[-1] < summary.iqr_force[0]
+
+
+def _scored(fitness) -> Individual:
+    ind = Individual(np.zeros(2))
+    ind.fitness = np.asarray(fitness, dtype=np.float64)
+    return ind
+
+
+def _campaign_of(*runs):
+    """A CampaignResult stand-in: runs of per-generation populations."""
+    return SimpleNamespace(
+        runs=[
+            [
+                SimpleNamespace(population=list(pop), generation=g)
+                for g, pop in enumerate(run)
+            ]
+            for run in runs
+        ]
+    )
+
+
+class TestHypervolumeProgress:
+    def test_healthy_campaign_all_finite(self, campaign_result):
+        hv = hypervolume_progress(campaign_result)
+        assert hv.shape == (5,)
+        assert np.all(np.isfinite(hv))
+        assert hv[-1] > 0.0
+
+    def test_single_point_generation(self):
+        result = _campaign_of([[_scored([0.01, 0.1])]])
+        hv = hypervolume_progress(result)
+        assert hv.shape == (1,)
+        assert np.isfinite(hv[0])
+        assert hv[0] > 0.0
+
+    def test_duplicate_objectives(self):
+        result = _campaign_of(
+            [[_scored([0.01, 0.1]) for _ in range(5)]]
+        )
+        hv = hypervolume_progress(result)
+        assert np.all(np.isfinite(hv))
+
+    def test_all_maxint_generation_contributes_zero(self):
+        result = _campaign_of(
+            [
+                [_scored([MAXINT, MAXINT]) for _ in range(4)],
+                [_scored([0.01, 0.1])],
+            ]
+        )
+        hv = hypervolume_progress(result)
+        assert hv[0] == 0.0
+        assert hv[1] > 0.0
+        assert np.all(np.isfinite(hv))
+
+    def test_nonfinite_losses_below_maxint_filtered(self):
+        # -inf is "viable" by the MAXINT test but must never reach the
+        # hypervolume kernel
+        result = _campaign_of(
+            [[_scored([-np.inf, 0.1]), _scored([0.01, 0.1])]]
+        )
+        hv = hypervolume_progress(result)
+        assert np.all(np.isfinite(hv))
+
+    def test_empty_generation_and_ragged_runs(self):
+        result = _campaign_of(
+            [[_scored([0.01, 0.1])]],  # 1-generation run
+            [[], [_scored([0.012, 0.09])]],  # empty generation 0
+        )
+        hv = hypervolume_progress(result)
+        assert hv.shape == (2,)
+        assert np.all(np.isfinite(hv))
+
+    def test_points_beyond_reference_stay_finite(self):
+        result = _campaign_of([[_scored([0.05, 0.5])]])
+        hv = hypervolume_progress(result)
+        assert np.all(np.isfinite(hv))
+        assert np.all(hv >= 0.0)
+
+
+class TestSparkline:
+    def test_empty_is_empty_string(self):
+        assert sparkline([]) == ""
+
+    def test_flat_series_renders_low_blocks(self):
+        assert sparkline([1.0, 1.0, 1.0]) == "▁▁▁"
+
+    def test_ramp_spans_glyph_range(self):
+        text = sparkline([0.0, 1.0, 2.0, 3.0])
+        assert len(text) == 4
+        assert text[0] == "▁"
+        assert text[-1] == "█"
+
+    def test_nonfinite_values_render_blank(self):
+        text = sparkline([0.0, float("nan"), 1.0])
+        assert len(text) == 3
+        assert text[1] == " "
+
+    def test_all_nonfinite_is_blank(self):
+        assert sparkline([float("nan"), float("inf")]) == "  "
+
+    def test_width_keeps_most_recent_values(self):
+        text = sparkline(list(range(100)), width=10)
+        assert len(text) == 10
+        assert text[-1] == "█"
 
 
 class TestFormatTable:

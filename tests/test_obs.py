@@ -23,6 +23,7 @@ from repro.obs import (
     NULL_TRACER,
     MetricsRegistry,
     Tracer,
+    escape_label_value,
     get_tracer,
     read_trace,
     render_trace_report,
@@ -245,6 +246,90 @@ class TestMetrics:
         assert 'wait_seconds_bucket{le="+Inf"} 1' in text
         assert "wait_seconds_count 1" in text
         assert text.endswith("\n")
+
+
+class TestPrometheusHardening:
+    """The exporter must survive hostile label values and reject
+    malformed names loudly at the instrumentation site."""
+
+    def test_escape_label_value_reserved_characters(self):
+        assert escape_label_value("plain") == "plain"
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value('say "hi"') == 'say \\"hi\\"'
+        assert escape_label_value("two\nlines") == "two\\nlines"
+        # order matters: the backslash introduced by the quote escape
+        # must not itself be re-escaped
+        assert escape_label_value('\\"') == '\\\\\\"'
+        # non-strings are coerced, UTF-8 passes through untouched
+        assert escape_label_value(7) == "7"
+        assert escape_label_value("héhé") == "héhé"
+
+    def test_labeled_series_render_sorted_and_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter(
+            "evals_total", labels={"worker": "pool-0", "mode": "gen"}
+        ).inc(3)
+        text = reg.to_prometheus()
+        # label names sort alphabetically regardless of insert order
+        assert 'evals_total{mode="gen",worker="pool-0"} 3' in text
+
+    def test_hostile_label_values_survive_export(self):
+        reg = MetricsRegistry()
+        hostile = 'a\\b "quoted"\nnewline'
+        reg.gauge("g", labels={"task": hostile}).set(1)
+        text = reg.to_prometheus()
+        line = next(
+            li for li in text.splitlines() if li.startswith("g{")
+        )
+        assert "\n" not in line  # the raw newline never leaks
+        assert 'task="a\\\\b \\"quoted\\"\\nnewline"' in line
+
+    def test_invalid_metric_name_raises(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="invalid Prometheus metric"):
+            reg.counter("0leading_digit")
+        with pytest.raises(ValueError, match="invalid Prometheus metric"):
+            reg.gauge("has space")
+        with pytest.raises(ValueError, match="invalid Prometheus metric"):
+            reg.histogram("sneaky\nname")
+
+    def test_invalid_label_name_raises(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="invalid Prometheus label"):
+            reg.counter("ok", labels={"bad-dash": "v"})
+        with pytest.raises(ValueError, match="invalid Prometheus label"):
+            reg.gauge("ok", labels={"has:colon": "v"})
+
+    def test_label_sets_are_distinct_series_sharing_one_type_header(self):
+        reg = MetricsRegistry()
+        reg.counter("tasks_total", labels={"worker": "pool-0"}).inc()
+        reg.counter("tasks_total", labels={"worker": "pool-1"}).inc(2)
+        # same name + same labels re-fetches the same instrument
+        again = reg.counter("tasks_total", labels={"worker": "pool-0"})
+        again.inc()
+        text = reg.to_prometheus()
+        assert text.count("# TYPE tasks_total counter") == 1
+        assert 'tasks_total{worker="pool-0"} 2' in text
+        assert 'tasks_total{worker="pool-1"} 2' in text
+
+    def test_labeled_histogram_merges_le_with_labels(self):
+        reg = MetricsRegistry()
+        h = reg.histogram(
+            "run_seconds", buckets=[1.0], labels={"worker": "pool-0"}
+        )
+        h.observe(0.5)
+        h.observe(5.0)
+        text = reg.to_prometheus()
+        assert 'run_seconds_bucket{worker="pool-0",le="1"} 1' in text
+        assert 'run_seconds_bucket{worker="pool-0",le="+Inf"} 2' in text
+        assert 'run_seconds_sum{worker="pool-0"} 5.5' in text
+        assert 'run_seconds_count{worker="pool-0"} 2' in text
+
+    def test_snapshot_keys_include_label_sets(self):
+        reg = MetricsRegistry()
+        reg.gauge("depth", labels={"queue": "main"}).set(4)
+        snap = reg.snapshot()
+        assert snap['depth{queue="main"}'] == 4.0
 
 
 # ----------------------------------------------------------------------
@@ -494,6 +579,70 @@ class TestTraceReport:
     def test_cli_trace_missing_file(self, tmp_path, capsys):
         assert hpo_main(["trace", str(tmp_path / "nope.jsonl")]) == 1
         assert "not found" in capsys.readouterr().err
+
+
+def _task_span(task, worker, mono=1.0, dur=0.1, status="ok"):
+    return {
+        "type": "span",
+        "name": "worker.task",
+        "mono": mono,
+        "dur": dur,
+        "status": status,
+        "tags": {"task": task, "worker": worker},
+    }
+
+
+def _trace_event(name, mono=0.0, **tags):
+    return {"type": "event", "name": name, "mono": mono, "tags": tags}
+
+
+class TestPoolFaultLedger:
+    """The pool backend's fault events must surface in the report —
+    otherwise pool campaigns silently under-report their faults."""
+
+    def _records(self):
+        return [
+            _trace_event("task.submit", mono=0.5, task="pool-task-1"),
+            _trace_event("task.submit", mono=0.6, task="pool-task-2"),
+            _task_span("pool-task-1", "pool-0", mono=1.0),
+            _task_span("pool-task-2", "pool-1", mono=1.1),
+            _trace_event("pool.worker_death", mono=2.0, worker="pool-0"),
+            _trace_event(
+                "pool.worker_respawn", mono=2.1, worker="pool-0"
+            ),
+            _trace_event("pool.worker_death", mono=3.0, worker="pool-1"),
+            _trace_event(
+                "pool.worker_respawn", mono=3.1, worker="pool-1"
+            ),
+            _trace_event(
+                "pool.deadline_kill", mono=4.0, task="pool-task-2"
+            ),
+            _trace_event("task.requeued", mono=4.1, task="pool-task-2"),
+        ]
+
+    def test_straggler_summary_counts_pool_events(self):
+        summary = straggler_summary(self._records())
+        assert summary["pool_worker_deaths"] == 2
+        assert summary["pool_respawns"] == 2
+        assert summary["pool_deadline_kills"] == 1
+        assert summary["requeued"] == 1
+
+    def test_render_shows_pool_line_when_nonzero(self):
+        text = render_trace_report(self._records())
+        assert "pool: worker deaths: 2  respawns: 2  deadline kills: 1" in text
+        assert "requeued: 1" in text
+
+    def test_render_omits_pool_line_when_clean(self):
+        clean = [
+            _trace_event("task.submit", mono=0.5, task="t1"),
+            _task_span("t1", "pool-0"),
+            _task_span("t2", "pool-1"),
+        ]
+        summary = straggler_summary(clean)
+        assert summary["pool_worker_deaths"] == 0
+        assert summary["pool_respawns"] == 0
+        assert summary["pool_deadline_kills"] == 0
+        assert "pool: worker deaths" not in render_trace_report(clean)
 
 
 class TestCampaignTraceEndToEnd:

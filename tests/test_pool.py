@@ -26,6 +26,7 @@ from repro.exceptions import TrainingTimeoutError, WorkerFailure
 from repro.hpo.campaign import Campaign, CampaignConfig
 from repro.hpo.landscape import SurrogateDeepMDProblem
 from repro.injection import use_injector
+from repro.obs import CampaignStatus, Tracer, use_status, use_tracer
 from repro.obs.metrics import MetricsRegistry
 from repro.store.cache import CachedProblem, EvaluationCache
 from repro.store.journal import CampaignJournal, journal_path
@@ -172,6 +173,60 @@ class TestCampaignEquivalence:
         assert _front(inline) == _front(pooled)
 
 
+class TestPoolObservability:
+    def test_worker_spans_cross_the_pipe(self):
+        """Each pool evaluation produces a worker-side ``worker.task``
+        span that the parent tracer ingests: fresh local span ids, no
+        foreign parent links, and worker/task/pid tags joining it to
+        the parent-side ``task.submit`` events."""
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with ProcessPoolBackend(
+                workers=1, metrics=MetricsRegistry()
+            ) as pool:
+                engine = EvaluationEngine(
+                    client=pool, metrics=MetricsRegistry()
+                )
+                engine.evaluate(_surrogate_individuals(4))
+        spans = tracer.spans("worker.task")
+        assert len(spans) == 4
+        assert len({s["id"] for s in spans}) == 4
+        submit_at = {
+            e["tags"]["task"]: e["mono"]
+            for e in tracer.events("task.submit")
+        }
+        for span in spans:
+            assert span["parent"] is None
+            assert span["tags"]["worker"] == "pool-0"
+            assert span["tags"]["pid"] > 0
+            task = span["tags"]["task"]
+            assert task.startswith("pool-task-")
+            # CLOCK_MONOTONIC is shared across processes on one host,
+            # so queue waits (submit -> span start) are joinable
+            assert span["mono"] >= submit_at[task]
+
+    def test_pool_publishes_worker_liveness_and_gauges(self):
+        status = CampaignStatus()
+        registry = MetricsRegistry()
+        with use_status(status):
+            with ProcessPoolBackend(workers=1, metrics=registry) as pool:
+                engine = EvaluationEngine(
+                    client=pool, metrics=MetricsRegistry()
+                )
+                engine.evaluate(_surrogate_individuals(3))
+                worker = status.snapshot()["workers"]["pool-0"]
+                assert worker["state"] == "idle"
+                assert worker["tasks_dispatched"] == 3
+                assert worker["respawns"] == 0
+                assert worker["pid"] > 0
+        # the wave drained: transition gauges settled back to zero
+        assert registry.gauge("pool_queue_depth").value == 0
+        assert registry.gauge("pool_busy_workers").value == 0
+        assert (
+            registry.counter("pool_tasks_dispatched_total").value == 3
+        )
+
+
 class TestPoolChaos:
     def test_worker_death_yields_maxint_and_clean_invariants(
         self, tmp_path
@@ -225,6 +280,32 @@ class TestPoolChaos:
         resumed = resume_campaign(tmp_path, cache=cache)
         assert _evals(resumed) == _evals(result)
         assert _front(resumed) == _front(result)
+
+    def test_worker_death_respawn_is_traced_and_published(self):
+        """A killed worker leaves a full audit trail: death + respawn
+        events in the trace, the respawn counters bumped, and the
+        /status worker entry carrying the respawn count."""
+        plan = FaultPlan([Fault(kind="worker_death", at=1)])
+        tracer = Tracer()
+        status = CampaignStatus()
+        registry = MetricsRegistry()
+        with use_injector(plan.injector()), use_tracer(tracer), use_status(
+            status
+        ):
+            with ProcessPoolBackend(workers=1, metrics=registry) as pool:
+                engine = EvaluationEngine(
+                    client=pool, metrics=MetricsRegistry()
+                )
+                done = engine.evaluate(_surrogate_individuals(3))
+        assert sum(1 for ind in done if not ind.is_viable) == 1
+        (death,) = tracer.events("pool.worker_death")
+        assert death["tags"]["worker"] == "pool-0"
+        (respawn,) = tracer.events("pool.worker_respawn")
+        assert respawn["tags"]["respawns"] == 1
+        assert registry.counter("pool_worker_deaths_total").value == 1
+        assert registry.counter("pool_worker_respawns_total").value == 1
+        worker = status.snapshot()["workers"]["pool-0"]
+        assert worker["respawns"] == 1
 
     def test_injected_delay_only_slows(self):
         """slow_worker faults change wall-clock, never results."""
