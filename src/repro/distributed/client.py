@@ -36,6 +36,12 @@ class Client:
     def __init__(self, scheduler: Scheduler) -> None:
         self.scheduler = scheduler
 
+    @property
+    def n_workers(self) -> int:
+        """Live worker count — the fleet capacity a multi-campaign
+        scheduler sizes its dispatch window against."""
+        return self.scheduler.n_workers
+
     def submit(
         self, fn: Callable[..., Any], *args: Any, **kwargs: Any
     ) -> Future:

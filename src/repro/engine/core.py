@@ -158,9 +158,17 @@ class EvaluationEngine:
         self._c_cache = registry.counter("engine_cache_hits_total")
         self._c_dedup = registry.counter("engine_dedup_hits_total")
         self._c_failures = registry.counter("engine_failures_total")
-        #: sampled on every submit/pump transition for the live plane
-        self._g_inflight = registry.gauge("engine_inflight")
-        self._g_ready = registry.gauge("engine_ready")
+        #: sampled on every submit/pump transition for the live plane;
+        #: labeled per campaign so concurrent campaigns sharing one
+        #: process (the service) don't clobber each other's levels
+        from repro.obs.live import current_campaign_id
+
+        cid = current_campaign_id()
+        gauge_labels = {"campaign_id": str(cid)} if cid is not None else None
+        self._g_inflight = registry.gauge(
+            "engine_inflight", labels=gauge_labels
+        )
+        self._g_ready = registry.gauge("engine_ready", labels=gauge_labels)
         self.stats = EngineStats()
         self._inflight: list[_InFlight] = []
         self._ready: list[Any] = []

@@ -81,3 +81,18 @@ class DecodeError(ReproError):
 class StoreError(ReproError):
     """Durable campaign state is unusable (missing or unreadable
     journal, irrecoverable resume preconditions)."""
+
+
+class ServiceError(ReproError):
+    """The multi-tenant campaign service cannot honor a request
+    (bad submission, unknown campaign, server-side failure)."""
+
+
+class CampaignCancelled(ServiceError):
+    """A tenant cancelled this campaign; it stops at the next
+    generation boundary (everything journaled so far stays valid)."""
+
+
+class ServiceShutdown(ServiceError):
+    """The service is draining for shutdown; running campaigns stop at
+    their next generation boundary and are marked resumable."""

@@ -497,9 +497,16 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _render_dashboard(snapshot: dict) -> str:
-    """One frame of the ``repro-hpo monitor`` dashboard."""
+    """One frame of the ``repro-hpo monitor`` dashboard.
+
+    A snapshot carrying a ``service`` key comes from the multi-tenant
+    campaign server and gets the multi-campaign view; anything else is
+    a solo campaign's ``--serve-metrics`` endpoint.
+    """
     from repro.analysis import format_table, sparkline
 
+    if snapshot.get("service") is not None:
+        return _render_service_dashboard(snapshot)
     lines: list[str] = []
     lines.append(
         f"campaign {snapshot.get('campaign') or '?'}  "
@@ -607,6 +614,236 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         if args.once or snapshot.get("state") == "done":
             return 0
         time.sleep(args.interval)
+
+
+def _render_service_dashboard(snapshot: dict) -> str:
+    """One frame of the multi-campaign (service) monitor view."""
+    from repro.analysis import format_table
+
+    service = snapshot.get("service") or {}
+    scheduler = service.get("scheduler") or {}
+    lines: list[str] = []
+    lines.append(
+        f"campaign service  state {snapshot.get('state', '?')}  "
+        f"campaigns {len(service.get('campaigns') or [])}  "
+        f"slots {scheduler.get('total_slots', '?')}  "
+        f"in-flight {scheduler.get('in_flight', 0)}"
+    )
+    campaigns = service.get("campaigns") or []
+    if campaigns:
+        rows = [
+            {
+                "id": c.get("id", "?"),
+                "name": c.get("name", "?"),
+                "tenant": c.get("tenant", "?"),
+                "state": c.get("state", "?"),
+                "run": c.get("run"),
+                "gen": c.get("generation"),
+                "hv": (
+                    f"{c['hypervolume']:.5g}"
+                    if c.get("hypervolume") is not None
+                    else "-"
+                ),
+                "front": c.get("front_size", "-"),
+                "cache-hit %": round(
+                    100 * (c.get("cache_hit_rate") or 0.0), 1
+                ),
+            }
+            for c in campaigns
+        ]
+        lines.append("")
+        lines.append(format_table(rows, title="campaigns"))
+    tenants = scheduler.get("tenants") or {}
+    if tenants:
+        rows = [
+            {
+                "tenant": name,
+                "weight": t.get("weight", 1.0),
+                "priority": t.get("priority", 0),
+                "in-flight": t.get("in_flight", 0),
+                "peak": t.get("peak_in_flight", 0),
+                "quota": t.get("max_in_flight", "?"),
+                "dispatched": t.get("dispatched", 0),
+            }
+            for name, t in sorted(tenants.items())
+        ]
+        lines.append("")
+        lines.append(format_table(rows, title="tenants (fair share)"))
+    cache = service.get("cache") or {}
+    if cache:
+        lines.append("")
+        lines.append(
+            "shared cache: "
+            f"hits {cache.get('hits', 0)}  "
+            f"misses {cache.get('misses', 0)}  "
+            f"inserts {cache.get('inserts', 0)}"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the multi-tenant campaign server until SIGTERM/SIGINT."""
+    import contextlib
+
+    from repro.service import CampaignServer, CampaignService
+
+    _, exec_backend = _resolve_backend_args(args)
+    with contextlib.ExitStack() as stack:
+        backend = _execution_backend(stack, args, exec_backend)
+        service = CampaignService(
+            args.root,
+            backend=backend,
+            max_active=args.max_active,
+            total_slots=args.slots,
+            cache_failures=getattr(args, "cache_failures", False),
+        )
+        recovered = service.recover()
+        if recovered:
+            print(
+                f"recovered {len(recovered)} campaign(s): "
+                + " ".join(c.id for c in recovered),
+                file=sys.stderr,
+            )
+        server = CampaignServer(
+            service, port=args.port, host=args.host
+        ).start()
+        print(
+            f"campaign service at {server.url} "
+            "(POST /campaigns, /status, /metrics); SIGTERM drains "
+            "gracefully",
+            file=sys.stderr,
+        )
+        sys.stderr.flush()
+        server.install_signal_handlers()
+        try:
+            server.serve_until_shutdown(timeout=args.drain_timeout)
+        finally:
+            # serve_until_shutdown already drained; the stack now tears
+            # down the backend the service was lent
+            print("campaign service stopped", file=sys.stderr)
+    return 0
+
+
+def _load_submission(args: argparse.Namespace) -> dict:
+    """Build the POST /campaigns body from a spec file plus flags.
+
+    The file may be a full submission (``{"tenant": ..., "config":
+    ...}``) or a bare campaign config (``{"n_runs": 4, ...}``);
+    command-line tenant/name flags override the file.
+    """
+    import json
+    from pathlib import Path
+
+    spec: dict = {}
+    if args.config:
+        doc = json.loads(Path(args.config).read_text())
+        if not isinstance(doc, dict):
+            print("error: spec file must hold a JSON object", file=sys.stderr)
+            raise SystemExit(2)
+        spec = doc if "config" in doc else {"config": doc}
+    spec.setdefault("config", {})
+    if args.name:
+        spec["name"] = args.name
+    if args.tenant or not spec.get("tenant"):
+        tenant = spec.get("tenant")
+        tenant = (
+            dict(tenant)
+            if isinstance(tenant, dict)
+            else ({"name": tenant} if tenant else {})
+        )
+        if args.tenant:
+            tenant["name"] = args.tenant
+        if args.weight is not None:
+            tenant["weight"] = args.weight
+        if args.max_in_flight is not None:
+            tenant["max_in_flight"] = args.max_in_flight
+        if args.priority is not None:
+            tenant["priority"] = args.priority
+        if tenant:
+            spec["tenant"] = tenant
+    return spec
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.exceptions import ServiceError
+    from repro.service import ServiceClient
+
+    client = ServiceClient(args.url)
+    try:
+        summary = _submit_and_maybe_watch(client, args)
+    except ServiceError as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        return 1
+    return 0 if summary.get("state") != "failed" else 1
+
+
+def _submit_and_maybe_watch(client, args: argparse.Namespace) -> dict:
+    import time
+
+    summary = client.submit(_load_submission(args))
+    print(
+        f"campaign {summary['id']} submitted "
+        f"(tenant {summary.get('tenant')}, state {summary.get('state')})"
+    )
+    if not args.watch:
+        return summary
+    terminal = {"done", "failed", "cancelled", "interrupted"}
+    while summary.get("state") not in terminal:
+        time.sleep(args.interval)
+        summary = client.campaign(summary["id"])
+    print(f"campaign {summary['id']}: {summary['state']}")
+    if summary.get("error"):
+        print(f"error: {summary['error']}", file=sys.stderr)
+    if summary["state"] == "done":
+        front = client.front(summary["id"]).get("front") or []
+        print(f"pareto front: {len(front)} solution(s)")
+        for member in front:
+            print(f"  fitness {member.get('fitness')}")
+    return summary
+
+
+def _cmd_campaigns(args: argparse.Namespace) -> int:
+    from repro.analysis import format_table
+    from repro.exceptions import ServiceError
+    from repro.service import ServiceClient
+
+    try:
+        campaigns = ServiceClient(args.url).campaigns()
+    except ServiceError as exc:
+        print(f"cannot list campaigns: {exc}", file=sys.stderr)
+        return 1
+    if not campaigns:
+        print("no campaigns")
+        return 0
+    rows = [
+        {
+            "id": c.get("id", "?"),
+            "name": c.get("name", "?"),
+            "tenant": c.get("tenant", "?"),
+            "state": c.get("state", "?"),
+            "mode": c.get("mode", "?"),
+            "runs": c.get("n_runs", "?"),
+            "pop": c.get("pop_size", "?"),
+            "gens": c.get("generations", "?"),
+            "error": c.get("error") or "-",
+        }
+        for c in campaigns
+    ]
+    print(format_table(rows, title="campaigns"))
+    return 0
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    from repro.exceptions import ServiceError
+    from repro.service import ServiceClient
+
+    try:
+        summary = ServiceClient(args.url).cancel(args.id)
+    except ServiceError as exc:
+        print(f"cannot cancel: {exc}", file=sys.stderr)
+        return 1
+    print(f"campaign {summary['id']}: {summary['state']}")
+    return 0
 
 
 def _cmd_sensitivity(args: argparse.Namespace) -> int:
@@ -954,6 +1191,148 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     p_mon.set_defaults(func=_cmd_monitor)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help=(
+            "run the multi-tenant campaign server: accepts JSON "
+            "submissions over HTTP and schedules many campaigns "
+            "fairly over one shared worker fleet"
+        ),
+    )
+    p_serve.add_argument(
+        "root",
+        help=(
+            "service state directory (campaign journals, specs, and "
+            "the shared cross-campaign evaluation cache live here)"
+        ),
+    )
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=8321,
+        help="HTTP port (0 binds an ephemeral port, printed on stderr)",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    _add_backend_flags(p_serve)
+    p_serve.add_argument(
+        "--slots",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "fleet-wide concurrent-evaluation cap (default: the "
+            "backend's worker count)"
+        ),
+    )
+    p_serve.add_argument(
+        "--max-active",
+        type=int,
+        default=4,
+        metavar="N",
+        help="campaigns running concurrently; the rest queue (default 4)",
+    )
+    p_serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help=(
+            "graceful-shutdown budget: how long SIGTERM waits for "
+            "running campaigns to reach a generation boundary"
+        ),
+    )
+    p_serve.add_argument(
+        "--cache-failures",
+        action="store_true",
+        help="also memoize failed evaluations in the shared cache",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit",
+        help="submit a campaign to a running 'repro-hpo serve' server",
+    )
+    p_submit.add_argument(
+        "config",
+        nargs="?",
+        default=None,
+        help=(
+            "JSON spec file: either a full submission ({tenant, "
+            "config, problem}) or a bare campaign config ({n_runs, "
+            "pop_size, ...}); omit to submit the defaults"
+        ),
+    )
+    p_submit.add_argument(
+        "--url",
+        default="http://127.0.0.1:8321",
+        help="campaign server base URL",
+    )
+    p_submit.add_argument(
+        "--name", default=None, help="display name for the campaign"
+    )
+    p_submit.add_argument(
+        "--tenant", default=None, help="tenant name to submit as"
+    )
+    p_submit.add_argument(
+        "--weight",
+        type=float,
+        default=None,
+        help="tenant fair-share weight (relative dispatch rate)",
+    )
+    p_submit.add_argument(
+        "--max-in-flight",
+        type=int,
+        default=None,
+        metavar="N",
+        help="tenant quota: concurrent evaluations across its campaigns",
+    )
+    p_submit.add_argument(
+        "--priority",
+        type=int,
+        default=None,
+        help="tenant priority class (lower dispatches first)",
+    )
+    p_submit.add_argument(
+        "--watch",
+        action="store_true",
+        help="poll until the campaign finishes and print its front",
+    )
+    p_submit.add_argument(
+        "--interval",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="--watch poll period",
+    )
+    p_submit.set_defaults(func=_cmd_submit)
+
+    p_list = sub.add_parser(
+        "campaigns", help="list campaigns on a running server"
+    )
+    p_list.add_argument(
+        "--url",
+        default="http://127.0.0.1:8321",
+        help="campaign server base URL",
+    )
+    p_list.set_defaults(func=_cmd_campaigns)
+
+    p_cancel = sub.add_parser(
+        "cancel",
+        help=(
+            "cancel a campaign (stops at its next generation "
+            "boundary; journaled work stays valid)"
+        ),
+    )
+    p_cancel.add_argument("id", help="campaign id")
+    p_cancel.add_argument(
+        "--url",
+        default="http://127.0.0.1:8321",
+        help="campaign server base URL",
+    )
+    p_cancel.set_defaults(func=_cmd_cancel)
 
     p_sens = sub.add_parser(
         "sensitivity", help="OAT + Morris screening of the genes"

@@ -69,6 +69,7 @@ class NullCampaignStatus:
     """The default: nobody is watching, every publication is a no-op."""
 
     enabled = False
+    campaign_id: Optional[str] = None
 
     def update(self, **fields: Any) -> None:
         return None
@@ -125,6 +126,13 @@ class CampaignStatus:
         self._workers: dict[str, dict[str, Any]] = {}
         self._hypervolume: list[dict[str, Any]] = []
         self._front: list[list[float]] = []
+
+    @property
+    def campaign_id(self) -> Optional[str]:
+        """The id this campaign publishes under (labels its gauges)."""
+        with self._lock:
+            value = self._data.get("campaign")
+        return None if value is None else str(value)
 
     # ------------------------------------------------------------------
     # publication (driver side)
@@ -227,10 +235,22 @@ NULL_STATUS = NullCampaignStatus()
 _global_status: NullCampaignStatus | CampaignStatus = NULL_STATUS
 _global_lock = threading.Lock()
 
+#: per-thread override — the campaign service runs many campaigns in
+#: one process, each on its own thread, and each thread's drivers must
+#: publish into *its* campaign's status, not a process-wide one
+_thread_status = threading.local()
+
 
 def get_status() -> NullCampaignStatus | CampaignStatus:
-    """The process-wide campaign status (:data:`NULL_STATUS` unless a
-    live one is installed)."""
+    """The campaign status for the calling thread.
+
+    A thread-scoped status (installed with :func:`use_thread_status` —
+    the multi-campaign service's per-campaign-thread scope) wins over
+    the process-wide one; :data:`NULL_STATUS` when neither is set.
+    """
+    status = getattr(_thread_status, "value", None)
+    if status is not None:
+        return status
     return _global_status
 
 
@@ -258,6 +278,39 @@ def use_status(
         set_status(previous)
 
 
+def set_thread_status(
+    status: Optional[NullCampaignStatus | CampaignStatus],
+) -> Optional[NullCampaignStatus | CampaignStatus]:
+    """Install ``status`` for the calling thread only (``None`` clears
+    the override); returns the previous thread-scoped status."""
+    previous = getattr(_thread_status, "value", None)
+    _thread_status.value = status
+    return previous
+
+
+@contextmanager
+def use_thread_status(
+    status: NullCampaignStatus | CampaignStatus,
+) -> Iterator[NullCampaignStatus | CampaignStatus]:
+    """Scoped :func:`set_thread_status` — the campaign service wraps
+    each campaign's runner thread in one of these so every publication
+    site (drivers, engine, telemetry) lands in that campaign's status
+    while other threads stay untouched."""
+    previous = set_thread_status(status)
+    try:
+        yield status
+    finally:
+        set_thread_status(previous)
+
+
+def current_campaign_id() -> Optional[str]:
+    """The campaign id of the calling thread's installed status (None
+    when nobody is watching or the status is anonymous).  Publication
+    sites use this to label their metric series, so concurrent
+    campaigns in one process stop clobbering each other's gauges."""
+    return getattr(get_status(), "campaign_id", None)
+
+
 class ConvergenceTelemetry:
     """Per-generation convergence telemetry for any driver.
 
@@ -281,14 +334,29 @@ class ConvergenceTelemetry:
         reference: tuple[float, float] = DEFAULT_REFERENCE_POINT,
         registry: Optional[MetricsRegistry] = None,
         status: Any = None,
+        campaign_id: Optional[str] = None,
     ) -> None:
         self.reference = (float(reference[0]), float(reference[1]))
         registry = registry if registry is not None else get_registry()
-        self._g_hv = registry.gauge("campaign_hypervolume")
-        self._g_front = registry.gauge("campaign_front_size")
-        self._g_spread = registry.gauge("campaign_front_spread")
-        self._g_generation = registry.gauge("campaign_generation")
         self.status = status if status is not None else get_status()
+        if campaign_id is None:
+            campaign_id = getattr(self.status, "campaign_id", None)
+        # a known campaign labels its series so concurrent campaigns in
+        # one process (the service) each get their own gauge instead of
+        # clobbering a shared one; anonymous runs keep the bare series
+        labels = (
+            {"campaign_id": str(campaign_id)}
+            if campaign_id is not None
+            else None
+        )
+        self._g_hv = registry.gauge("campaign_hypervolume", labels=labels)
+        self._g_front = registry.gauge("campaign_front_size", labels=labels)
+        self._g_spread = registry.gauge(
+            "campaign_front_spread", labels=labels
+        )
+        self._g_generation = registry.gauge(
+            "campaign_generation", labels=labels
+        )
 
     def observe_generation(
         self,

@@ -1,0 +1,104 @@
+"""Thin HTTP client for the campaign service (urllib, zero-dep).
+
+Backs the ``repro-hpo submit / campaigns / cancel`` subcommands and
+the service tests; every method is one request, JSON in / JSON out,
+with HTTP errors surfaced as :class:`~repro.exceptions.ServiceError`
+carrying the server's error message.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Optional
+
+from repro.exceptions import ServiceError
+
+
+class ServiceClient:
+    """Talk to a :class:`~repro.service.server.CampaignServer`."""
+
+    def __init__(self, url: str, timeout: float = 10.0) -> None:
+        if "://" not in url:
+            url = f"http://{url}"
+        self.url = url.rstrip("/")
+        self.timeout = float(timeout)
+
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        path: str,
+        method: str = "GET",
+        payload: Optional[dict[str, Any]] = None,
+    ) -> Any:
+        body = (
+            None
+            if payload is None
+            else json.dumps(payload).encode("utf-8")
+        )
+        request = urllib.request.Request(
+            f"{self.url}{path}",
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as resp:
+                raw = resp.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read().decode("utf-8")).get(
+                    "error", str(exc)
+                )
+            except Exception:  # noqa: BLE001 - non-JSON error body
+                message = str(exc)
+            raise ServiceError(
+                f"{method} {path}: {message} (HTTP {exc.code})"
+            ) from exc
+        except (urllib.error.URLError, OSError) as exc:
+            raise ServiceError(
+                f"cannot reach {self.url}: {exc}"
+            ) from exc
+        try:
+            return json.loads(raw) if raw else {}
+        except ValueError as exc:
+            raise ServiceError(
+                f"{method} {path}: non-JSON response"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    def submit(self, spec: dict[str, Any]) -> dict[str, Any]:
+        """POST a campaign submission; returns its summary (id, state)."""
+        return self._request("/campaigns", method="POST", payload=spec)
+
+    def campaigns(self) -> list[dict[str, Any]]:
+        return self._request("/campaigns").get("campaigns", [])
+
+    def campaign(self, campaign_id: str) -> dict[str, Any]:
+        return self._request(f"/campaigns/{campaign_id}")
+
+    def front(self, campaign_id: str) -> dict[str, Any]:
+        return self._request(f"/campaigns/{campaign_id}/front")
+
+    def cancel(self, campaign_id: str) -> dict[str, Any]:
+        return self._request(
+            f"/campaigns/{campaign_id}/cancel", method="POST"
+        )
+
+    def status(self) -> dict[str, Any]:
+        return self._request("/status")
+
+    def metrics(self) -> str:
+        request = urllib.request.Request(f"{self.url}/metrics")
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as resp:
+                return resp.read().decode("utf-8")
+        except (urllib.error.URLError, OSError) as exc:
+            raise ServiceError(
+                f"cannot reach {self.url}: {exc}"
+            ) from exc

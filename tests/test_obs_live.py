@@ -25,9 +25,12 @@ from repro.obs import (
     MetricsRegistry,
     ObservabilityServer,
     Tracer,
+    current_campaign_id,
     get_status,
     set_status,
+    set_thread_status,
     use_status,
+    use_thread_status,
 )
 from repro.obs.trace import NULL_TRACER
 
@@ -176,6 +179,64 @@ class TestCampaignStatus:
 
 
 # ----------------------------------------------------------------------
+# thread-local status (the multi-campaign service: each campaign thread
+# publishes into its own status, concurrently)
+# ----------------------------------------------------------------------
+class TestThreadLocalStatus:
+    def test_use_thread_status_scopes_this_thread_only(self):
+        import threading
+
+        mine = CampaignStatus(campaign_id="mine")
+        seen_elsewhere = []
+
+        def observer():
+            seen_elsewhere.append(get_status())
+
+        with use_thread_status(mine):
+            assert get_status() is mine
+            thread = threading.Thread(target=observer)
+            thread.start()
+            thread.join()
+        assert get_status() is not mine
+        # the override never leaked into the other thread
+        assert seen_elsewhere == [NULL_STATUS]
+
+    def test_thread_override_shadows_the_global(self):
+        shared = CampaignStatus(campaign_id="global")
+        local = CampaignStatus(campaign_id="local")
+        with use_status(shared):
+            assert get_status() is shared
+            with use_thread_status(local):
+                assert get_status() is local
+            assert get_status() is shared
+
+    def test_set_thread_status_returns_previous(self):
+        first = CampaignStatus(campaign_id="first")
+        assert set_thread_status(first) is None
+        try:
+            second = CampaignStatus(campaign_id="second")
+            assert set_thread_status(second) is first
+        finally:
+            set_thread_status(None)
+        assert get_status() is NULL_STATUS
+
+    def test_current_campaign_id_follows_the_active_status(self):
+        assert current_campaign_id() is None
+        with use_thread_status(CampaignStatus(campaign_id="cafe42")):
+            assert current_campaign_id() == "cafe42"
+        assert current_campaign_id() is None
+
+    def test_status_carries_service_metadata(self):
+        status = CampaignStatus(
+            campaign_id="cafe43", tenant="alice", name="exp-1"
+        )
+        snap = status.snapshot()
+        assert status.campaign_id == "cafe43"
+        assert snap["tenant"] == "alice"
+        assert snap["name"] == "exp-1"
+
+
+# ----------------------------------------------------------------------
 # convergence telemetry
 # ----------------------------------------------------------------------
 class TestConvergenceTelemetry:
@@ -293,6 +354,35 @@ class TestConvergenceTelemetry:
         assert snap["evaluated"] == 10
         assert len(snap["hypervolume_series"]) == 1
         assert len(snap["front"]) == 1
+
+    def test_gauges_labeled_by_campaign_id_from_status(self):
+        registry = MetricsRegistry()
+        status = CampaignStatus(campaign_id="cafe51")
+        telemetry = ConvergenceTelemetry(registry=registry, status=status)
+        telemetry.observe_generation(2, [_individual([0.01, 0.1])])
+        series = registry.snapshot()
+        # two concurrent campaigns must not clobber one gauge: every
+        # series carries the campaign it belongs to
+        assert series['campaign_generation{campaign_id="cafe51"}'] == 2
+        assert series['campaign_front_size{campaign_id="cafe51"}'] == 1
+        assert series['campaign_hypervolume{campaign_id="cafe51"}'] > 0.0
+        assert "campaign_generation" not in series  # no unlabeled twin
+
+    def test_explicit_campaign_id_overrides_status(self):
+        registry = MetricsRegistry()
+        telemetry = ConvergenceTelemetry(
+            registry=registry,
+            status=CampaignStatus(campaign_id="from-status"),
+            campaign_id="explicit",
+        )
+        telemetry.observe_generation(1, [_individual([0.01, 0.1])])
+        series = registry.snapshot()
+        assert 'campaign_generation{campaign_id="explicit"}' in series
+
+    def test_unlabeled_without_campaign_id(self):
+        telemetry, registry = self._telemetry()  # NULL_STATUS: no id
+        telemetry.observe_generation(1, [_individual([0.01, 0.1])])
+        assert "campaign_generation" in registry.snapshot()
 
 
 # ----------------------------------------------------------------------
