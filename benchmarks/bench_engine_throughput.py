@@ -62,6 +62,9 @@ def _measure(client: Any, problem: SleepProblem, n_tasks: int) -> dict:
     )
     # warm-up: first dispatch pays lazy costs (pool pipes, imports)
     engine.evaluate(_individuals(problem, 2))
+    # snapshot after warm-up so the reported counters cover only the
+    # timed batch (the warm-up's 2 evaluations are excluded)
+    before = engine.stats.copy()
     batch = _individuals(problem, n_tasks)
     t0 = time.perf_counter()
     done = engine.evaluate(batch)
@@ -71,7 +74,53 @@ def _measure(client: Any, problem: SleepProblem, n_tasks: int) -> dict:
     return {
         "wall_s": wall,
         "evals_per_sec": n_tasks / wall,
-        "fresh": engine.stats.fresh,
+        "fresh": engine.stats.fresh - before.fresh,
+    }
+
+
+def _surrogate_individuals(problem: Any, n: int) -> list[Any]:
+    from repro.evo.individual import RobustIndividual
+    from repro.hpo.representation import DeepMDRepresentation
+
+    rep = DeepMDRepresentation
+    rng = np.random.default_rng(4321)
+    decoder = rep.decoder()
+    out = []
+    for _ in range(n):
+        genome = rng.uniform(rep.init_ranges[:, 0], rep.init_ranges[:, 1])
+        ind = RobustIndividual(genome, decoder=decoder, problem=problem)
+        ind.n_objectives = problem.n_objectives
+        out.append(ind)
+    return out
+
+
+def _measure_surrogate(n_tasks: int, mode: str) -> dict:
+    """Inline engine over the vectorized surrogate: ``scalar`` submits
+    one task per individual, ``batch`` routes the whole population
+    through the batch data plane (one NumPy evaluation per chunk)."""
+    from repro.engine import EvaluationEngine
+    from repro.hpo.landscape import SurrogateDeepMDProblem
+    from repro.obs.metrics import MetricsRegistry
+
+    problem = SurrogateDeepMDProblem(seed=99)
+    engine = EvaluationEngine(metrics=MetricsRegistry(), fault_injector=None)
+    # warm-up both paths (imports, first-call caches)
+    engine.evaluate(_surrogate_individuals(problem, 2))
+    engine.evaluate_batch(_surrogate_individuals(problem, 2))
+    before = engine.stats.copy()
+    batch = _surrogate_individuals(problem, n_tasks)
+    t0 = time.perf_counter()
+    if mode == "batch":
+        done = engine.evaluate_batch(batch)
+    else:
+        done = engine.evaluate(batch)
+    wall = time.perf_counter() - t0
+    assert len(done) == n_tasks
+    assert all(ind.fitness is not None for ind in done)
+    return {
+        "wall_s": wall,
+        "evals_per_sec": n_tasks / wall,
+        "fresh": engine.stats.fresh - before.fresh,
     }
 
 
@@ -96,6 +145,18 @@ def run(quick: bool = False) -> dict:
         entry["speedup_vs_inline"] = entry["evals_per_sec"] / inline_eps
         results[f"pool_{workers}"] = entry
 
+    # batch data plane: vectorized surrogate, scalar loop vs one
+    # chunked batch submission (compute-bound, not sleep-bound)
+    n_surrogate = 2048  # large enough to amortize per-batch overhead
+    results["batch_scalar"] = _measure_surrogate(n_surrogate, "scalar")
+    results["batch_vectorized"] = _measure_surrogate(n_surrogate, "batch")
+    results["batch_vectorized"]["speedup_vs_inline"] = (
+        results["batch_vectorized"]["evals_per_sec"]
+        / results["batch_scalar"]["evals_per_sec"]
+    )
+    results["batch_vectorized"]["n_tasks"] = n_surrogate
+    results["batch_scalar"]["n_tasks"] = n_surrogate
+
     return {
         "bench": "engine_throughput",
         "quick": quick,
@@ -109,6 +170,9 @@ def run(quick: bool = False) -> dict:
                 "speedup_vs_inline"
             ],
             "pool1_speedup_vs_inline": results["pool_1"][
+                "speedup_vs_inline"
+            ],
+            "batch_speedup_vs_inline": results["batch_vectorized"][
                 "speedup_vs_inline"
             ],
         },

@@ -34,18 +34,26 @@ static-analysis guard test enforces this).
 """
 
 from repro.engine.backends import (
+    AggregateFuture,
     ClientBackend,
     ExecutionBackend,
     InlineBackend,
     ResolvedFuture,
     as_backend,
     evaluate_individual,
+    evaluate_individuals_batch,
+    evaluate_stream,
 )
 from repro.engine.core import EngineStats, EvaluationEngine
-from repro.engine.invoke import call_problem, failure_fitness
+from repro.engine.invoke import (
+    call_problem,
+    call_problem_batch,
+    failure_fitness,
+)
 from repro.engine.pool import ProcessFuture, ProcessPoolBackend
 
 __all__ = [
+    "AggregateFuture",
     "ClientBackend",
     "EngineStats",
     "EvaluationEngine",
@@ -56,6 +64,9 @@ __all__ = [
     "ResolvedFuture",
     "as_backend",
     "call_problem",
+    "call_problem_batch",
     "evaluate_individual",
+    "evaluate_individuals_batch",
+    "evaluate_stream",
     "failure_fitness",
 ]

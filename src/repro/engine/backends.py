@@ -4,11 +4,19 @@ The engine speaks one tiny protocol — ``submit(individual) -> future``
 with ``done()``/``result()`` semantics — so the same driver code runs
 candidates in-process, on the reproduction's thread cluster, or on a
 real Dask deployment (the paper's §2.2.5 setup) without change.
+
+Backends may additionally answer ``submit_batch(individuals)`` with one
+future resolving to a list of per-slot outcomes; the default shape
+(:class:`AggregateFuture` over per-individual ``submit``) keeps every
+backend batch-capable, while vectorized/pooled backends override it to
+move whole populations at once.
 """
 
 from __future__ import annotations
 
-from typing import Any, Optional, Protocol, runtime_checkable
+from typing import Any, Iterable, Iterator, Optional, Protocol, Sequence, runtime_checkable
+
+from repro.engine.invoke import call_problem_batch
 
 
 def evaluate_individual(individual: Any) -> Any:
@@ -20,6 +28,82 @@ def evaluate_individual(individual: Any) -> Any:
     engine's failure policy.
     """
     return individual.evaluate()
+
+
+def evaluate_stream(stream: Iterable[Any]) -> Iterator[Any]:
+    """Evaluate a stream of individuals one at a time, lazily.
+
+    The sanctioned per-individual evaluation loop for operator
+    pipelines (``ops.evaluate`` delegates here); everything else goes
+    through the engine's batch path.
+    """
+    for individual in stream:
+        yield evaluate_individual(individual)
+
+
+def evaluate_individuals_batch(individuals: Sequence[Any]) -> list[Any]:
+    """Evaluate a chunk of individuals through their problems' batch
+    entry points.
+
+    Returns one slot per individual, in order: a ``(fitness,
+    metadata)`` pair or the exception that slot raised (including
+    decode errors) — per-slot isolation mirrors the scalar path, where
+    one individual's failure never poisons its neighbours.  Individuals
+    are grouped by problem identity so a homogeneous population (the
+    common case: one problem per run) becomes a single
+    :func:`call_problem_batch` call.
+    """
+    slots: list[Any] = [None] * len(individuals)
+    groups: dict[int, tuple[Any, list[int], list[Any], list[Any]]] = {}
+    for i, individual in enumerate(individuals):
+        try:
+            phenome = individual.decode()
+        except Exception as exc:  # noqa: BLE001 - isolated per slot
+            slots[i] = exc
+            continue
+        problem = individual.problem
+        entry = groups.get(id(problem))
+        if entry is None:
+            entry = groups[id(problem)] = (problem, [], [], [])
+        entry[1].append(i)
+        entry[2].append(phenome)
+        entry[3].append(getattr(individual, "uuid", None))
+    for problem, indices, phenomes, uuids in groups.values():
+        outcomes = call_problem_batch(problem, phenomes, uuids=uuids)
+        for i, outcome in zip(indices, outcomes):
+            slots[i] = outcome
+    return slots
+
+
+class AggregateFuture:
+    """A future over many per-individual futures.
+
+    ``done()`` when all members are; ``result()`` yields one slot per
+    member — the member's result, or the exception it raised — so chunk
+    consumers see the same per-slot isolation a batch backend provides
+    natively.
+    """
+
+    def __init__(self, futures: Sequence[Any]) -> None:
+        self._futures = list(futures)
+
+    def done(self) -> bool:
+        return all(f.done() for f in self._futures)
+
+    def result(self, timeout: Optional[float] = None) -> list[Any]:
+        slots: list[Any] = []
+        for future in self._futures:
+            try:
+                slots.append(future.result(timeout))
+            except Exception as exc:  # noqa: BLE001 - isolated per slot
+                slots.append(exc)
+        return slots
+
+    def cancel(self) -> None:
+        for future in self._futures:
+            cancel = getattr(future, "cancel", None)
+            if cancel is not None:
+                cancel()
 
 
 class FutureLike(Protocol):
@@ -38,6 +122,12 @@ class ExecutionBackend(Protocol):
     is_execution_backend: bool
 
     def submit(self, individual: Any) -> FutureLike: ...
+
+    def submit_batch(self, individuals: Sequence[Any]) -> FutureLike:
+        """Submit a chunk; the future resolves to one slot per
+        individual (result or exception).  Default shape: an
+        :class:`AggregateFuture` over per-individual ``submit``."""
+        ...
 
     def on_cache_hit(self, individual: Any) -> None:
         """Told when the engine served ``individual`` from the cache
@@ -80,6 +170,11 @@ class InlineBackend:
         except Exception as exc:  # noqa: BLE001 - engine owns the policy
             return ResolvedFuture(exception=exc)
 
+    def submit_batch(self, individuals: Sequence[Any]) -> ResolvedFuture:
+        return ResolvedFuture(
+            result=evaluate_individuals_batch(individuals)
+        )
+
     def on_cache_hit(self, individual: Any) -> None:
         pass
 
@@ -100,6 +195,11 @@ class ClientBackend:
 
     def submit(self, individual: Any) -> FutureLike:
         return self.client.submit(evaluate_individual, individual)
+
+    def submit_batch(self, individuals: Sequence[Any]) -> AggregateFuture:
+        return AggregateFuture(
+            [self.submit(ind) for ind in individuals]
+        )
 
     def on_cache_hit(self, individual: Any) -> None:
         scheduler = getattr(self.client, "scheduler", None)

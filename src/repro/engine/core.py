@@ -9,11 +9,17 @@ steady-state driver, and each baseline carried their own copy of that
 logic (and only the generational driver had all of it).  The engine is
 the single copy.
 
-Two consumption styles, one bookkeeping path:
+Three consumption styles, one bookkeeping path:
 
-* **batch** — :meth:`EvaluationEngine.evaluate` submits a pool of
-  offspring and blocks until all of them are resolved (the generational
-  barrier of §2.2.3 and the baselines' sweeps);
+* **batch (scalar dispatch)** — :meth:`EvaluationEngine.evaluate`
+  submits a pool of offspring one task at a time and blocks until all
+  of them are resolved (the generational barrier of §2.2.3 and the
+  baselines' sweeps);
+* **batch (chunked dispatch)** — :meth:`EvaluationEngine.evaluate_batch`
+  partitions a population into cache-hits / dedup-duplicates / fresh
+  candidates and ships the fresh ones to the backend as chunked batch
+  tasks (one vectorized problem call per chunk), journaling and
+  accounting per evaluation exactly as the scalar path does;
 * **streaming** — :meth:`EvaluationEngine.submit` plus
   :meth:`EvaluationEngine.wait_any` resolve candidates as they finish
   (the §2.2.5 steady-state scheme: breed on completion, no barrier).
@@ -27,7 +33,11 @@ from typing import Any, Iterable, Optional
 
 import numpy as np
 
-from repro.engine.backends import as_backend, evaluate_individual
+from repro.engine.backends import (
+    AggregateFuture,
+    as_backend,
+    evaluate_individual,
+)
 from repro.engine.invoke import failure_fitness
 from repro.exceptions import TrainingTimeoutError
 from repro.injection import FaultInjector, get_injector
@@ -85,6 +95,7 @@ class _InFlight:
         "genome_key",
         "since",
         "forced_timeout",
+        "resolved",
     )
 
     def __init__(
@@ -98,6 +109,28 @@ class _InFlight:
         #: chaos: treat this dispatch as overrunning its wall-clock
         #: budget even if the backend finishes
         self.forced_timeout = False
+        #: set once this entry finished (only chunk members resolve
+        #: individually ahead of their container)
+        self.resolved = False
+
+
+class _InFlightChunk:
+    """One dispatched chunk: a shared future over ordered members.
+
+    The future resolves to one slot per member (result or exception);
+    members keep their own :class:`_InFlight` entries so dedup
+    followers, forced timeouts, and per-evaluation accounting behave
+    exactly as in the scalar path.
+    """
+
+    __slots__ = ("future", "members", "since")
+
+    def __init__(
+        self, future: Any, members: list[_InFlight], since: float
+    ) -> None:
+        self.future = future
+        self.members = members
+        self.since = since
 
 
 class EvaluationEngine:
@@ -169,11 +202,21 @@ class EvaluationEngine:
             "engine_inflight", labels=gauge_labels
         )
         self._g_ready = registry.gauge("engine_ready", labels=gauge_labels)
+        #: batch-efficiency surfaces: chunk sizes actually dispatched,
+        #: and the campaign-wide completion rate
+        self._h_batch_size = registry.histogram(
+            "engine_batch_size", labels=gauge_labels
+        )
+        self._g_evals_per_sec = registry.gauge(
+            "engine_evals_per_sec", labels=gauge_labels
+        )
         self.stats = EngineStats()
-        self._inflight: list[_InFlight] = []
+        self._inflight: list[Any] = []
         self._ready: list[Any] = []
         self._results: dict[bytes, Any] = {}
         self._started_at: Optional[float] = None
+        self._batches = 0
+        self._last_batch_size = 0
 
     # ------------------------------------------------------------------
     # submission
@@ -192,7 +235,7 @@ class EvaluationEngine:
             if done is not None:
                 self._resolve_duplicate(individual, done)
                 return
-            for pending in self._inflight:
+            for pending in self._pending_entries():
                 if pending.genome_key == genome_key:
                     pending.followers.append(individual)
                     return
@@ -246,6 +289,143 @@ class EvaluationEngine:
         return batch
 
     # ------------------------------------------------------------------
+    # chunked batch path
+    # ------------------------------------------------------------------
+    def submit_batch(
+        self,
+        individuals: Iterable[Any],
+        chunk_size: Optional[int] = None,
+        new_batch: bool = False,
+    ) -> list[Any]:
+        """Enqueue a population as chunked batch tasks.
+
+        The population is partitioned **in submission order** into
+        already-resolved candidates (dedup duplicates, cache hits,
+        injected failures — each finishes immediately, exactly where
+        the scalar loop would finish it) and fresh candidates, which
+        are dispatched to the backend in chunks of ``chunk_size``
+        (default: the backend's ``batch_chunk_hint``, else one chunk).
+        Per-candidate accounting, chaos injection, and journaling are
+        byte-for-byte the scalar path's.
+        """
+        batch = list(individuals)
+        if new_batch and self.dedup_scope == "batch":
+            self._results.clear()
+        now = time.monotonic()
+        if self._started_at is None:
+            self._started_at = now
+        fresh: list[_InFlight] = []
+        fresh_by_key: dict[bytes, _InFlight] = {}
+        pending_by_key: dict[bytes, _InFlight] = {}
+        if self.dedup:
+            for pending in self._pending_entries():
+                if pending.genome_key is not None:
+                    pending_by_key.setdefault(pending.genome_key, pending)
+        for individual in batch:
+            self.stats.submitted += 1
+            self._c_submitted.inc()
+            genome_key = self._genome_key(individual)
+            if self.dedup and genome_key is not None:
+                done = self._results.get(genome_key)
+                if done is not None:
+                    self._resolve_duplicate(individual, done)
+                    continue
+                rep = pending_by_key.get(genome_key) or fresh_by_key.get(
+                    genome_key
+                )
+                if rep is not None:
+                    rep.followers.append(individual)
+                    continue
+            if self._cache_probe(individual):
+                self._finish(individual, genome_key, cache_fast_path=True)
+                continue
+            fault = (
+                None
+                if self._injector is None
+                else self._injector.evaluation_fault()
+            )
+            if fault is not None and fault.exception is not None:
+                self._apply_failure(individual, fault.exception)
+                self._finish(individual, genome_key)
+                continue
+            member = _InFlight(None, individual, genome_key, now)
+            if fault is not None and fault.timeout:
+                member.forced_timeout = True
+            fresh.append(member)
+            if genome_key is not None:
+                fresh_by_key.setdefault(genome_key, member)
+        if fresh:
+            size = self._resolve_chunk_size(len(fresh), chunk_size)
+            for start in range(0, len(fresh), size):
+                members = fresh[start : start + size]
+                future = self._dispatch_chunk(
+                    [m.individual for m in members]
+                )
+                self._inflight.append(_InFlightChunk(future, members, now))
+                self._batches += 1
+                self._last_batch_size = len(members)
+                self._h_batch_size.observe(len(members))
+        self._sample_gauges()
+        return batch
+
+    def evaluate_batch(
+        self,
+        individuals: Iterable[Any],
+        chunk_size: Optional[int] = None,
+    ) -> list[Any]:
+        """Batch mode over the chunked data plane: resolve every
+        candidate, preserving order.
+
+        Semantically identical to :meth:`evaluate` (same stats, same
+        journal records, same failure policy); the fresh candidates
+        cross the backend as whole chunks instead of one task each.
+        """
+        batch = list(individuals)
+        if self.dedup_scope == "batch":
+            self._results.clear()
+        before = self.stats.copy()
+        with self.tracer.span("engine.evaluate", n=len(batch)) as span:
+            self.submit_batch(batch, chunk_size=chunk_size)
+            self.drain()
+            used = self.stats.delta(before)
+            span.tag(
+                fresh=used.fresh,
+                cache_hits=used.cache_hits,
+                dedup_hits=used.dedup_hits,
+                failures=used.failures,
+            )
+        self._ready.clear()
+        return batch
+
+    def finish_batch(self) -> None:
+        """Pipeline helper: block until everything in flight resolves.
+
+        Pairs with :meth:`submit_batch` when a driver overlaps breeding
+        of the next generation with evaluation of the current one; the
+        results land on the submitted individuals in place.
+        """
+        self.drain()
+        self._ready.clear()
+
+    def _resolve_chunk_size(
+        self, n_fresh: int, chunk_size: Optional[int]
+    ) -> int:
+        if chunk_size is not None:
+            return max(1, int(chunk_size))
+        hint = getattr(self.backend, "batch_chunk_hint", None)
+        if hint is not None:
+            return max(1, int(hint(n_fresh)))
+        return n_fresh
+
+    def _dispatch_chunk(self, individuals: list[Any]) -> Any:
+        submit_batch = getattr(self.backend, "submit_batch", None)
+        if submit_batch is not None:
+            return submit_batch(individuals)
+        return AggregateFuture(
+            [self.backend.submit(ind) for ind in individuals]
+        )
+
+    # ------------------------------------------------------------------
     # streaming
     # ------------------------------------------------------------------
     def has_pending(self) -> bool:
@@ -286,8 +466,25 @@ class EvaluationEngine:
     # ------------------------------------------------------------------
     def _sample_gauges(self) -> None:
         """Refresh the in-flight / ready gauges (every transition)."""
-        self._g_inflight.set(len(self._inflight))
+        self._g_inflight.set(
+            sum(
+                len([m for m in p.members if not m.resolved])
+                if isinstance(p, _InFlightChunk)
+                else 1
+                for p in self._inflight
+            )
+        )
         self._g_ready.set(len(self._ready))
+
+    def _pending_entries(self) -> Iterable[_InFlight]:
+        """Every unresolved in-flight entry, chunk members included."""
+        for pending in self._inflight:
+            if isinstance(pending, _InFlightChunk):
+                for member in pending.members:
+                    if not member.resolved:
+                        yield member
+            else:
+                yield pending
 
     @staticmethod
     def _genome_key(individual: Any) -> Optional[bytes]:
@@ -377,6 +574,10 @@ class EvaluationEngine:
             self._c_failures.inc()
         if self._started_at is not None:
             self.stats.wall_time = time.monotonic() - self._started_at
+            if self.stats.wall_time > 0:
+                self._g_evals_per_sec.set(
+                    round(self.stats.completed / self.stats.wall_time, 3)
+                )
         if not duplicate and genome_key is not None and self.dedup:
             self._results[genome_key] = individual
         if self.journal is not None:
@@ -388,7 +589,12 @@ class EvaluationEngine:
 
         status = get_status()
         if status.enabled:
-            status.publish_engine(self.stats)
+            status.publish_engine(
+                self.stats,
+                batches=self._batches,
+                last_batch_size=self._last_batch_size,
+                evals_per_sec=float(self._g_evals_per_sec.value),
+            )
 
     def _time_out(self, pending: _InFlight, now: float) -> None:
         individual = pending.individual
@@ -408,8 +614,12 @@ class EvaluationEngine:
     def _pump(self) -> None:
         """Move finished (or timed-out) in-flight work to the ready list."""
         now = time.monotonic()
-        still: list[_InFlight] = []
+        still: list[Any] = []
         for pending in self._inflight:
+            if isinstance(pending, _InFlightChunk):
+                if not self._pump_chunk(pending, now):
+                    still.append(pending)
+                continue
             # a forced (injected) timeout outranks completion: the
             # engine must enforce its budget even when the backend
             # races it to the finish line
@@ -436,3 +646,69 @@ class EvaluationEngine:
                 still.append(pending)
         self._inflight = still
         self._sample_gauges()
+
+    def _pump_chunk(self, chunk: _InFlightChunk, now: float) -> bool:
+        """Advance one chunk; return ``True`` once fully resolved."""
+        # forced (injected) timeouts outrank completion, member by
+        # member — exactly the scalar semantics
+        for member in chunk.members:
+            if not member.resolved and member.forced_timeout:
+                member.resolved = True
+                self._time_out(member, now)
+        remaining = [m for m in chunk.members if not m.resolved]
+        if not remaining:
+            self._cancel_chunk(chunk)
+            return True
+        if chunk.future.done():
+            try:
+                slots = chunk.future.result()
+            except Exception as exc:  # noqa: BLE001 - chunk dispatch died
+                # crash→MAXINT applies to the failed chunk's
+                # individuals only; other chunks are untouched
+                for member in remaining:
+                    member.resolved = True
+                    self._apply_failure(member.individual, exc)
+                    self._finish(member.individual, member.genome_key)
+                    for follower in member.followers:
+                        self._resolve_duplicate(follower, member.individual)
+                return True
+            for member, slot in zip(chunk.members, slots):
+                if not member.resolved:
+                    self._resolve_chunk_member(member, slot)
+            return True
+        if self.timeout is not None and now - chunk.since > self.timeout:
+            self._cancel_chunk(chunk)
+            for member in remaining:
+                member.resolved = True
+                self._time_out(member, now)
+            return True
+        return False
+
+    def _resolve_chunk_member(self, member: _InFlight, slot: Any) -> None:
+        """Land one chunk slot on its individual, scalar-identically.
+
+        A ``(fitness, metadata)`` pair is merged the way
+        ``Individual.evaluate`` merges in-process results; an object
+        that crossed a process boundary is copied over like the scalar
+        pump does; an exception goes through the MAXINT policy.
+        """
+        individual = member.individual
+        if isinstance(slot, BaseException):
+            self._apply_failure(individual, slot)
+        elif isinstance(slot, tuple):
+            fitness, metadata = slot
+            individual.fitness = fitness
+            individual.metadata.update(metadata)
+        elif slot is not None and slot is not individual:
+            individual.fitness = slot.fitness
+            individual.metadata = slot.metadata
+        member.resolved = True
+        self._finish(individual, member.genome_key)
+        for follower in member.followers:
+            self._resolve_duplicate(follower, individual)
+
+    @staticmethod
+    def _cancel_chunk(chunk: _InFlightChunk) -> None:
+        cancel = getattr(chunk.future, "cancel", None)
+        if cancel is not None:
+            cancel()

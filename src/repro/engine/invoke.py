@@ -10,11 +10,15 @@ cannot quietly fork again.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any, Optional, Sequence
 
 import numpy as np
 
 from repro.exceptions import MAXINT
+
+#: one slot of a batch call: ``(fitness, metadata)`` or the exception
+#: that phenome raised
+BatchOutcome = Any
 
 
 def failure_fitness(n_objectives: int) -> np.ndarray:
@@ -47,3 +51,46 @@ def call_problem(
         )
     fitness = problem.evaluate(phenome)
     return np.atleast_1d(np.asarray(fitness, dtype=np.float64)), {}
+
+
+def call_problem_batch(
+    problem: Any,
+    phenomes: Sequence[Any],
+    uuids: Optional[Sequence[Optional[str]]] = None,
+) -> list[BatchOutcome]:
+    """Dispatch a batch of evaluations with per-phenome failure capture.
+
+    Returns one outcome per phenome, **in order**: a normalized
+    ``(fitness, metadata)`` pair, or the exception that phenome raised.
+    A failing phenome never aborts its batch — the caller (the engine)
+    applies the MAXINT failure policy per genome.  Problems exposing
+    ``evaluate_batch_with_metadata`` answer the whole batch at once
+    (vectorized problems in one NumPy sweep); everything else falls
+    back to per-phenome :func:`call_problem`.
+    """
+    if uuids is None:
+        uuids = [None] * len(phenomes)
+    if hasattr(problem, "evaluate_batch_with_metadata"):
+        outcomes: list[BatchOutcome] = []
+        raw = problem.evaluate_batch_with_metadata(phenomes, uuids=uuids)
+        for slot in raw:
+            if isinstance(slot, BaseException):
+                outcomes.append(slot)
+            else:
+                fitness, metadata = slot
+                outcomes.append(
+                    (
+                        np.atleast_1d(
+                            np.asarray(fitness, dtype=np.float64)
+                        ),
+                        dict(metadata),
+                    )
+                )
+        return outcomes
+    outcomes = []
+    for phenome, uuid in zip(phenomes, uuids):
+        try:
+            outcomes.append(call_problem(problem, phenome, uuid=uuid))
+        except Exception as exc:  # noqa: BLE001 - isolated per slot
+            outcomes.append(exc)
+    return outcomes

@@ -45,10 +45,12 @@ through ``future.done()``.
 
 from __future__ import annotations
 
+import math
 import os
 import pickle
 import time
-from typing import Any, Optional
+import zlib
+from typing import Any, Iterable, Optional
 
 import numpy as np
 
@@ -94,9 +96,14 @@ def _pool_worker_main(
     ``time.monotonic()`` is CLOCK_MONOTONIC, shared across processes
     on one host, so worker span timestamps line up with the parent's.
     """
+    from repro.engine.backends import evaluate_individuals_batch
     from repro.injection import set_injector
 
     set_injector(None)
+    #: shared segments: problem/decoder/class shipped once per worker,
+    #: keyed by the parent's segment key — batch task payloads then
+    #: carry only (genome, uuid) pairs
+    segments: dict[str, tuple[Any, Any, Any]] = {}
     while True:
         try:
             msg = conn.recv()
@@ -104,7 +111,10 @@ def _pool_worker_main(
             break
         if msg[0] == "stop":
             break
-        _, task_id, payload, delay, die, trace = msg
+        if msg[0] == "segment":
+            segments[msg[1]] = pickle.loads(msg[2])
+            continue
+        kind, task_id, payload, delay, die, trace = msg
         if delay:
             time.sleep(delay)
         if die:
@@ -114,28 +124,78 @@ def _pool_worker_main(
         ts = time.time()
         mono = time.monotonic()
         error: str | None = None
-        try:
-            individual = pickle.loads(payload)
-            individual.evaluate()
-            reply = (
-                "done",
-                task_id,
-                None
-                if individual.fitness is None
-                else np.asarray(individual.fitness, dtype=np.float64),
-                dict(individual.metadata),
-            )
-        except BaseException as exc:  # noqa: BLE001 - policy is parent-side
-            error = type(exc).__name__
+        n_items = 1
+        if kind == "batch":
             try:
-                pickle.dumps(exc)
-                reply = ("raised", task_id, exc)
-            except Exception:  # unpicklable exception: ship the repr
+                segment_key, items = pickle.loads(payload)
+                if segment_key is not None:
+                    problem, decoder, cls = segments[segment_key]
+                    individuals = []
+                    for genome, uuid in items:
+                        ind = cls(genome, decoder=decoder, problem=problem)
+                        ind.uuid = uuid
+                        individuals.append(ind)
+                else:
+                    individuals = items
+                n_items = len(individuals)
+                slots = evaluate_individuals_batch(individuals)
+                safe_slots: list[Any] = []
+                for slot in slots:
+                    if isinstance(slot, BaseException):
+                        try:
+                            pickle.dumps(slot)
+                            safe_slots.append(slot)
+                        except Exception:  # unpicklable: ship the repr
+                            safe_slots.append(
+                                EvaluationError(
+                                    f"{type(slot).__name__}: {slot}"
+                                )
+                            )
+                    else:
+                        fitness, meta = slot
+                        safe_slots.append(
+                            (
+                                None
+                                if fitness is None
+                                else np.asarray(fitness, dtype=np.float64),
+                                dict(meta),
+                            )
+                        )
+                reply = ("batchdone", task_id, safe_slots)
+            except BaseException as exc:  # noqa: BLE001 - chunk-fatal
+                error = type(exc).__name__
+                try:
+                    pickle.dumps(exc)
+                    reply = ("raised", task_id, exc)
+                except Exception:
+                    reply = (
+                        "raised",
+                        task_id,
+                        EvaluationError(f"{type(exc).__name__}: {exc}"),
+                    )
+        else:
+            try:
+                individual = pickle.loads(payload)
+                individual.evaluate()
                 reply = (
-                    "raised",
+                    "done",
                     task_id,
-                    EvaluationError(f"{type(exc).__name__}: {exc}"),
+                    None
+                    if individual.fitness is None
+                    else np.asarray(individual.fitness, dtype=np.float64),
+                    dict(individual.metadata),
                 )
+            except BaseException as exc:  # noqa: BLE001 - policy is parent-side
+                error = type(exc).__name__
+                try:
+                    pickle.dumps(exc)
+                    reply = ("raised", task_id, exc)
+                except Exception:  # unpicklable exception: ship the repr
+                    reply = (
+                        "raised",
+                        task_id,
+                        EvaluationError(f"{type(exc).__name__}: {exc}"),
+                    )
         records: list[dict[str, Any]] = []
         if trace:
             tags: dict[str, Any] = {
@@ -143,6 +203,8 @@ def _pool_worker_main(
                 "task": f"pool-task-{task_id}",
                 "pid": os.getpid(),
             }
+            if kind == "batch":
+                tags["n"] = n_items
             if error is not None:
                 tags["error"] = error
             records.append(
@@ -220,6 +282,7 @@ class _WorkerHandle:
         "dispatched_at",
         "tasks_dispatched",
         "respawns",
+        "segments",
     )
 
     def __init__(self, index: int) -> None:
@@ -234,6 +297,9 @@ class _WorkerHandle:
         self.tasks_dispatched = 0
         #: how many successors were spawned under this name
         self.respawns = 0
+        #: segment keys this worker process has already received (a
+        #: respawned successor starts empty and gets them re-shipped)
+        self.segments: set[str] = set()
 
 
 class ProcessPoolBackend:
@@ -292,7 +358,14 @@ class ProcessPoolBackend:
         #: sampled on every submit/dispatch/drain transition
         self._g_queue = registry.gauge("pool_queue_depth")
         self._g_busy = registry.gauge("pool_busy_workers")
-        self._queue: list[tuple[int, bytes]] = []  # FIFO of (task_id, payload)
+        #: FIFO of (task_id, kind, payload, segment_key)
+        self._queue: list[tuple[int, str, bytes, Optional[str]]] = []
+        #: segment registry: identity of (problem, decoder, class) →
+        #: (key, pickled payload).  Strong references on purpose — a
+        #: worker holding a segment must never outlive its contents.
+        self._segments: dict[tuple[int, int, type], tuple[str, bytes]] = {}
+        #: key → pickled payload, for dispatch-time (re-)shipping
+        self._segment_payloads: dict[str, bytes] = {}
         self._futures: dict[int, ProcessFuture] = {}
         self._next_task_id = 0
         self._closed = False
@@ -360,7 +433,112 @@ class ProcessPoolBackend:
             )
         future = ProcessFuture(self, task_id)
         self._futures[task_id] = future
-        self._queue.append((task_id, payload))
+        self._queue.append((task_id, "task", payload, None))
+        self._dispatch_idle()
+        self._sample_gauges()
+        return future
+
+    def batch_chunk_hint(self, n: int) -> int:
+        """Spread a batch of ``n`` evaluations across the whole pool:
+        ``ceil(n / workers)`` per chunk keeps every worker busy while a
+        worker crash can only take down one chunk's worth."""
+        return max(1, math.ceil(n / self.n_workers))
+
+    def _segment_for(self, individuals: list[Any]) -> Optional[str]:
+        """Register (once) and return the shared-segment key when every
+        individual shares one ``(problem, decoder, class)`` triple, or
+        ``None`` when the batch is heterogeneous / unpicklable and must
+        ship whole individuals instead."""
+        first = individuals[0]
+        problem = first.problem
+        if problem is None:
+            return None
+        decoder = first.decoder
+        cls = type(first)
+        for ind in individuals[1:]:
+            if (
+                ind.problem is not problem
+                or ind.decoder is not decoder
+                or type(ind) is not cls
+            ):
+                return None
+        ident = (id(problem), id(decoder), cls)
+        entry = self._segments.get(ident)
+        if entry is None:
+            try:
+                payload = pickle.dumps(
+                    (problem, decoder, cls),
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+            except Exception:
+                return None
+            # a human-readable tag from the problem's cache fingerprint
+            # (when it has one) makes segment traffic debuggable
+            tag = "anon"
+            fingerprint = getattr(problem, "cache_fingerprint", None)
+            if callable(fingerprint):
+                try:
+                    import json
+
+                    tag = format(
+                        zlib.crc32(
+                            json.dumps(
+                                fingerprint(), sort_keys=True, default=str
+                            ).encode()
+                        ),
+                        "08x",
+                    )
+                except Exception:
+                    tag = "anon"
+            entry = (f"seg{len(self._segments)}-{tag}", payload)
+            self._segments[ident] = entry
+            self._segment_payloads[entry[0]] = payload
+        return entry[0]
+
+    def submit_batch(self, individuals: Iterable[Any]) -> ProcessFuture:
+        """Submit one chunk of individuals as a single pool task.
+
+        When the whole chunk shares a ``(problem, decoder, class)``
+        triple, that triple is shipped **once per worker** as a shared
+        segment (re-shipped automatically to respawned successors) and
+        the task payload carries only ``(genome, uuid)`` pairs; a
+        heterogeneous chunk falls back to shipping the individuals
+        whole.  The future resolves to a list of per-slot outcomes —
+        ``(fitness, metadata)`` tuples or exception instances — in
+        submission order; a worker crash mid-chunk raises
+        :class:`WorkerFailure` from ``result()``, failing only this
+        chunk.
+        """
+        if self._closed:
+            raise RuntimeError("ProcessPoolBackend is closed")
+        members = list(individuals)
+        segment_key = self._segment_for(members) if members else None
+        try:
+            if segment_key is not None:
+                items = [(ind.genome, ind.uuid) for ind in members]
+                payload = pickle.dumps(
+                    (segment_key, items), protocol=pickle.HIGHEST_PROTOCOL
+                )
+            else:
+                payload = pickle.dumps(
+                    (None, members), protocol=pickle.HIGHEST_PROTOCOL
+                )
+        except Exception as exc:
+            raise TypeError(
+                "batch (genomes + decoder + problem) must pickle to "
+                f"cross the process boundary: {exc}"
+            ) from exc
+        task_id = self._next_task_id
+        self._next_task_id += 1
+        if getattr(self.tracer, "enabled", False):
+            self.tracer.event(
+                "task.submit",
+                task=f"pool-task-{task_id}",
+                n=len(members),
+            )
+        future = ProcessFuture(self, task_id)
+        self._futures[task_id] = future
+        self._queue.append((task_id, "batch", payload, segment_key))
         self._dispatch_idle()
         self._sample_gauges()
         return future
@@ -384,6 +562,7 @@ class ProcessPoolBackend:
         handle.process = process
         handle.conn = parent_conn
         handle.busy_task = None
+        handle.segments.clear()  # a fresh process holds no segments
 
     def _fail_task(self, task_id: int, exc: BaseException) -> None:
         future = self._futures.pop(task_id, None)
@@ -419,7 +598,7 @@ class ProcessPoolBackend:
                 return
             if handle.busy_task is not None:
                 continue
-            task_id, payload = self._queue.pop(0)
+            task_id, kind, payload, segment_key = self._queue.pop(0)
             delay = 0.0
             die = False
             if self._injector is not None:
@@ -450,8 +629,23 @@ class ProcessPoolBackend:
             handle.tasks_dispatched += 1
             self._c_dispatched.inc()
             try:
+                if (
+                    segment_key is not None
+                    and segment_key not in handle.segments
+                ):
+                    # ship the shared (problem, decoder, class) triple
+                    # once per worker process; the pipe is FIFO, so the
+                    # segment always lands before the task that needs it
+                    handle.conn.send(
+                        (
+                            "segment",
+                            segment_key,
+                            self._segment_payloads[segment_key],
+                        )
+                    )
+                    handle.segments.add(segment_key)
                 handle.conn.send(
-                    ("task", task_id, payload, delay, die, trace)
+                    (kind, task_id, payload, delay, die, trace)
                 )
             except (BrokenPipeError, OSError):
                 # worker already gone: fail this task, replace, retry
@@ -495,6 +689,10 @@ class ProcessPoolBackend:
                     continue
                 if kind == "done":
                     future._resolve(RemoteEvaluation(msg[2], msg[3]))
+                elif kind == "batchdone":
+                    # per-slot outcomes: (fitness, metadata) tuples or
+                    # exception instances, in submission order
+                    future._resolve(result=msg[2])
                 else:  # "raised": re-raise the worker-side exception
                     future._resolve(exception=msg[2])
             # 2. death: a busy worker that is gone takes its task down
@@ -561,7 +759,7 @@ class ProcessPoolBackend:
         if self._closed:
             return
         self._closed = True
-        for task_id, _ in self._queue:
+        for task_id, *_ in self._queue:
             self._fail_task(
                 task_id, WorkerFailure("pool", "closed before dispatch")
             )

@@ -152,6 +152,9 @@ def generational_nsga2(
     journal: Any = None,
     resume_from: Optional[ResumeState] = None,
     engine: Optional[EvaluationEngine] = None,
+    batch: bool = False,
+    pipeline: bool = False,
+    batch_chunk: Optional[int] = None,
 ) -> list[GenerationRecord]:
     """Run one NSGA-II deployment; returns one record per generation.
 
@@ -178,7 +181,24 @@ def generational_nsga2(
     within-generation semantics — and bit-identical resume — are
     preserved); pass ``engine`` to supply a configured one, otherwise
     it is built from ``client``/``dedup``.
+
+    ``batch`` routes each generation through the engine's batch data
+    plane (:meth:`~repro.engine.EvaluationEngine.evaluate_batch`) —
+    one submission per generation, chunked by ``batch_chunk`` (or the
+    backend's hint) — instead of the scalar submit-per-individual
+    loop.  Fronts, journal records, and engine statistics are
+    bit-identical either way; batch is purely a throughput choice.
+    ``pipeline`` (implies ``batch``) additionally overlaps each
+    generation's commit bookkeeping — the journal write, telemetry,
+    and ``callback`` — with the *next* generation's evaluations:
+    offspring are submitted non-blocking, the previous record commits
+    while workers evaluate, then the batch is drained.  Records,
+    fronts, and journaled RNG states are unchanged (states are
+    captured eagerly, before the next generation's draws); only the
+    wall-clock instant the callback fires moves.
     """
+    if pipeline:
+        batch = True
     trc = tracer if tracer is not None else get_tracer()
     ctx = context if context is not None else Context()
     #: campaign-fixed reference point → comparable hypervolume gauges
@@ -190,6 +210,29 @@ def generational_nsga2(
             client=client, dedup=dedup, dedup_scope="batch", tracer=trc
         )
     )
+    def _evaluate(offspring: list[Individual]) -> list[Individual]:
+        if batch:
+            return eng.evaluate_batch(offspring, chunk_size=batch_chunk)
+        return eng.evaluate(offspring)
+
+    def _commit(record: GenerationRecord, rng_state: Any) -> None:
+        """Journal + telemetry + callback for one finished generation
+        (write-ahead: the journal sees it before the in-memory list)."""
+        if journal is not None:
+            journal.append_generation(record, rng_state=rng_state)
+        records.append(record)
+        telemetry.observe_generation(
+            record.generation,
+            record.population,
+            evaluated=len(record.evaluated),
+            failures=record.n_failures,
+        )
+        if callback is not None:
+            callback(record)
+
+    #: pipeline mode: the latest finished generation, not yet
+    #: committed — its commit overlaps the next generation's batch
+    pending: Optional[tuple[GenerationRecord, Any]] = None
     if resume_from is not None:
         gen_rng = resume_from.rng
         schedule = AnnealingSchedule(
@@ -203,6 +246,7 @@ def generational_nsga2(
         schedule = AnnealingSchedule(
             initial_std, factor=anneal_factor, context=ctx
         )
+        records = []
         with trc.span("ea.generation", generation=0) as span:
             parents = random_initial_population(
                 pop_size,
@@ -212,33 +256,19 @@ def generational_nsga2(
                 individual_cls=individual_cls,
                 rng=gen_rng,
             )
-            parents = ops.eval_pool(size=len(parents), engine=eng)(
-                iter(parents)
+            parents = _evaluate(parents)
+            record0 = GenerationRecord(
+                generation=0,
+                population=list(parents),
+                evaluated=list(parents),
+                std=schedule.current.copy(),
+                n_failures=_count_failures(parents),
             )
-            records = [
-                GenerationRecord(
-                    generation=0,
-                    population=list(parents),
-                    evaluated=list(parents),
-                    std=schedule.current.copy(),
-                    n_failures=_count_failures(parents),
-                )
-            ]
-            span.tag(
-                evaluated=len(parents), failures=records[0].n_failures
-            )
-        if journal is not None:
-            journal.append_generation(
-                records[0], rng_state=_capture_rng_state(gen_rng)
-            )
-        telemetry.observe_generation(
-            0,
-            records[0].population,
-            evaluated=len(records[0].evaluated),
-            failures=records[0].n_failures,
-        )
-        if callback is not None:
-            callback(records[0])
+            span.tag(evaluated=len(parents), failures=record0.n_failures)
+        if pipeline:
+            pending = (record0, _capture_rng_state(gen_rng))
+        else:
+            _commit(record0, _capture_rng_state(gen_rng))
         start_generation = 1
     for generation in range(start_generation, generations + 1):
         with trc.span("ea.generation", generation=generation) as span:
@@ -252,8 +282,21 @@ def generational_nsga2(
                     hard_bounds=hard_bounds,
                     rng=gen_rng,
                 ),
-                ops.eval_pool(size=len(parents), engine=eng),
+                ops.pool(len(parents)),
             )
+            if pipeline:
+                # non-blocking submission: workers start on this
+                # generation while the previous one's commit (journal
+                # write, telemetry, callback) runs, then drain
+                eng.submit_batch(
+                    offspring, chunk_size=batch_chunk, new_batch=True
+                )
+                if pending is not None:
+                    _commit(*pending)
+                    pending = None
+                eng.finish_batch()
+            else:
+                offspring = _evaluate(offspring)
             combined = rank_ordinal_sort_op(
                 parents=parents, algorithm=sort_algorithm
             )(offspring)
@@ -270,19 +313,12 @@ def generational_nsga2(
                 n_failures=_count_failures(offspring),
             )
             span.tag(evaluated=len(offspring), failures=record.n_failures)
-        # write-ahead: the journal persists the generation (with the
-        # post-generation RNG state) before it is committed in memory
-        if journal is not None:
-            journal.append_generation(
-                record, rng_state=_capture_rng_state(gen_rng)
-            )
-        records.append(record)
-        telemetry.observe_generation(
-            generation,
-            record.population,
-            evaluated=len(record.evaluated),
-            failures=record.n_failures,
-        )
-        if callback is not None:
-            callback(record)
+        # the RNG state is captured here, before the next generation
+        # draws, even when the commit itself is deferred (pipeline)
+        if pipeline:
+            pending = (record, _capture_rng_state(gen_rng))
+        else:
+            _commit(record, _capture_rng_state(gen_rng))
+    if pending is not None:
+        _commit(*pending)
     return records

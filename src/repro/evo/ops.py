@@ -25,7 +25,11 @@ from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
 
 import numpy as np
 
-from repro.engine import EvaluationEngine, evaluate_individual
+from repro.engine import (
+    EvaluationEngine,
+    evaluate_individual,
+    evaluate_stream,
+)
 from repro.evo.individual import Individual
 from repro.rng import RngLike, ensure_rng
 
@@ -104,9 +108,13 @@ def mutate_gaussian(
 
 
 def evaluate(stream: Iterable[Individual]) -> Iterator[Individual]:
-    """Evaluate each individual inline as it flows through."""
-    for ind in stream:
-        yield evaluate_individual(ind)
+    """Evaluate each individual inline as it flows through.
+
+    The per-individual loop lives in the engine layer
+    (:func:`repro.engine.backends.evaluate_stream`) — the one
+    sanctioned scalar evaluation loop outside the batch path.
+    """
+    return evaluate_stream(stream)
 
 
 # ----------------------------------------------------------------------

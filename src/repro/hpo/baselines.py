@@ -33,12 +33,12 @@ from typing import Any, Optional, Sequence
 
 import numpy as np
 
-from repro.engine import EvaluationEngine, call_problem
+from repro.engine import EvaluationEngine, call_problem, call_problem_batch
 from repro.evo import ops
 from repro.evo.annealing import AnnealingSchedule
 from repro.evo.decoder import MixedVectorDecoder
 from repro.evo.individual import Individual, RobustIndividual
-from repro.evo.problem import FunctionProblem, Problem
+from repro.evo.problem import FunctionProblem, Problem, WithMetadataProblem
 from repro.hpo.representation import DeepMDRepresentation
 from repro.rng import RngLike, ensure_rng
 
@@ -218,7 +218,7 @@ def weighted_sum_ea(
     return _search_result(evaluated, eng, before)
 
 
-class _WeightedSumProblem(Problem):
+class _WeightedSumProblem(WithMetadataProblem):
     """Scalarized view of a two-objective problem.
 
     The underlying objective vector is preserved in the individual's
@@ -232,8 +232,7 @@ class _WeightedSumProblem(Problem):
         self.problem = problem
         self.weight_energy = float(weight_energy)
 
-    def evaluate_with_metadata(self, phenome, uuid=None):
-        fitness, meta = call_problem(self.problem, phenome, uuid=uuid)
+    def _scalarize(self, fitness, meta):
         # normalize scales: energy errors are roughly 10x smaller
         scalar = np.array(
             [
@@ -245,6 +244,17 @@ class _WeightedSumProblem(Problem):
         meta["objectives"] = np.asarray(fitness, dtype=np.float64)
         return scalar, meta
 
-    def evaluate(self, phenome) -> np.ndarray:
-        scalar, _ = call_problem(self, phenome)
-        return scalar
+    def evaluate_with_metadata(self, phenome, uuid=None):
+        fitness, meta = call_problem(self.problem, phenome, uuid=uuid)
+        return self._scalarize(fitness, meta)
+
+    def evaluate_batch_with_metadata(self, phenomes, uuids=None):
+        """Scalarize each slot of the inner problem's batch outcome;
+        failed slots (exception instances) pass through untouched."""
+        inner = call_problem_batch(self.problem, phenomes, uuids=uuids)
+        return [
+            slot
+            if isinstance(slot, BaseException)
+            else self._scalarize(*slot)
+            for slot in inner
+        ]

@@ -45,6 +45,11 @@ class CampaignConfig:
     sort_algorithm: str = "rank_ordinal"
     base_seed: int = 2023
     mode: str = "generational"
+    #: batch data plane / pipelined generations (generational mode
+    #: only; both bit-identical to the scalar path)
+    batch_evals: bool = False
+    pipeline: bool = False
+    batch_chunk: Optional[int] = None
 
     def __post_init__(self) -> None:
         self.mode = str(self.mode).replace("_", "-")
@@ -60,6 +65,9 @@ class CampaignConfig:
             generations=self.generations,
             anneal_factor=self.anneal_factor,
             sort_algorithm=self.sort_algorithm,
+            batch_evals=self.batch_evals,
+            pipeline=self.pipeline,
+            batch_chunk=self.batch_chunk,
         )
 
 

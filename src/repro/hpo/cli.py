@@ -55,6 +55,36 @@ class _KillAfterEvaluations:
         finally:
             self._count()
 
+    def evaluate_batch_with_metadata(self, phenomes, uuids=None):
+        """Batch path with the same kill point as the scalar path.
+
+        Sub-batches never exceed the remaining budget, so exactly
+        ``limit`` evaluations finish (and persist) before the process
+        exits — a batch cannot overshoot the kill count.
+        """
+        from repro.engine import call_problem_batch
+
+        phenome_list = list(phenomes)
+        uuid_list = (
+            list(uuids)
+            if uuids is not None
+            else [None] * len(phenome_list)
+        )
+        outcomes: list[Any] = []
+        i = 0
+        while i < len(phenome_list):
+            remaining = max(1, self.limit - self._done)
+            chunk = call_problem_batch(
+                self.problem,
+                phenome_list[i : i + remaining],
+                uuids=uuid_list[i : i + remaining],
+            )
+            outcomes.extend(chunk)
+            for _ in chunk:
+                self._count()  # may os._exit(137) mid-batch
+            i += len(chunk)
+        return outcomes
+
     def evaluate(self, phenome):
         from repro.engine import call_problem
 
@@ -345,6 +375,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         generations=args.generations,
         base_seed=args.seed,
         mode=args.mode,
+        batch_evals=getattr(args, "batch_evals", False),
+        pipeline=getattr(args, "pipeline", False),
+        batch_chunk=getattr(args, "batch_chunk", None),
     )
     tracer = Tracer(args.trace) if args.trace else NULL_TRACER
     problem_kind, exec_backend = _resolve_backend_args(args)
@@ -539,13 +572,21 @@ def _render_dashboard(snapshot: dict) -> str:
         lines.append(f"nondominated front: {len(front)} solution(s)")
     engine = snapshot.get("engine") or {}
     if engine:
-        lines.append(
+        line = (
             "engine: "
             f"submitted {engine.get('submitted', 0)}  "
             f"completed {engine.get('completed', 0)}  "
             f"fresh {engine.get('fresh', 0)}  "
             f"failures {engine.get('failures', 0)}"
         )
+        if engine.get("batches"):
+            line += (
+                f"  batches {engine.get('batches', 0)}"
+                f" (last {engine.get('last_batch_size', 0)})"
+            )
+        if engine.get("evals_per_sec"):
+            line += f"  evals/sec {engine.get('evals_per_sec', 0.0):g}"
+        lines.append(line)
     workers = snapshot.get("workers") or {}
     if workers:
         rows = [
@@ -1065,6 +1106,35 @@ def main(argv: list[str] | None = None) -> int:
     )
     p.add_argument(
         "--export-csv", default=None, help="export figure data as CSV"
+    )
+    p.add_argument(
+        "--batch-evals",
+        action="store_true",
+        help=(
+            "route each generation through the engine's batch data "
+            "plane (one chunked submission per generation; results "
+            "bit-identical to the scalar path)"
+        ),
+    )
+    p.add_argument(
+        "--pipeline",
+        action="store_true",
+        help=(
+            "overlap generation-commit bookkeeping (journal, "
+            "telemetry) with the next generation's evaluations "
+            "(implies --batch-evals; fronts bit-identical)"
+        ),
+    )
+    p.add_argument(
+        "--batch-chunk",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "fresh evaluations per backend chunk in batch mode "
+            "(default: the backend's hint, e.g. ceil(n/workers) for "
+            "--backend pool)"
+        ),
     )
     p.add_argument(
         "--trace",

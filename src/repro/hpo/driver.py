@@ -43,6 +43,14 @@ class NSGA2Settings:
     anneal_factor: float = 0.85
     sort_algorithm: str = "rank_ordinal"
     dedup_within_generation: bool = True
+    #: route each generation through the engine's batch data plane
+    #: (bit-identical results; a throughput choice)
+    batch_evals: bool = False
+    #: overlap generation-commit bookkeeping with the next
+    #: generation's evaluations (implies ``batch_evals``)
+    pipeline: bool = False
+    #: fresh evaluations per backend chunk (None: backend's hint)
+    batch_chunk: Optional[int] = None
 
 
 def run_deepmd_nsga2(
@@ -84,6 +92,9 @@ def run_deepmd_nsga2(
         dedup=settings.dedup_within_generation,
         journal=journal,
         resume_from=resume_from,
+        batch=settings.batch_evals,
+        pipeline=settings.pipeline,
+        batch_chunk=settings.batch_chunk,
     )
 
 

@@ -25,8 +25,8 @@ from typing import Any, Optional
 import numpy as np
 
 from repro.deepmd.runner import run_training
-from repro.engine.invoke import call_problem, failure_fitness
-from repro.evo.problem import Problem
+from repro.engine.invoke import failure_fitness
+from repro.evo.problem import WithMetadataProblem
 from repro.md.dataset import FrameDataset
 
 
@@ -52,7 +52,7 @@ class EvaluatorSettings:
     mode: str = "inprocess"
 
 
-class DeepMDProblem(Problem):
+class DeepMDProblem(WithMetadataProblem):
     """Two-objective minimization of (energy RMSE, force RMSE).
 
     Parameters
@@ -199,7 +199,3 @@ class DeepMDProblem(Problem):
         if self.cache is not None:
             self.cache.insert(key, fitness, metadata=metadata)
         return fitness, metadata
-
-    def evaluate(self, phenome: dict[str, Any]) -> np.ndarray:
-        fitness, _ = call_problem(self, phenome)
-        return fitness

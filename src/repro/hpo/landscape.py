@@ -38,7 +38,12 @@ reported findings:
   upstream and a short runtime (§3.2 observed 25 early-generation
   failures in 3500 trainings and none in the final generations).
 * **Noise.**  Multiplicative log-normal training stochasticity, seeded
-  per evaluation.
+  per evaluation.  Draws come from a counter-based generator (splitmix64
+  over a per-phenome hash with one fixed counter slot per draw), so a
+  whole population's noise is a handful of NumPy array sweeps and the
+  value at a phenome never depends on batch composition or evaluation
+  order — batch, scalar, and pipelined paths are bit-identical by
+  construction.
 
 The surface is cross-checked against real scaled-down trainings by
 ``benchmarks/bench_real_training.py`` where the scaled-down system can
@@ -55,17 +60,86 @@ bigger descriptor cutoff to capture.
 
 from __future__ import annotations
 
+import math
 import threading
+import zlib
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Any, Optional, Sequence
 
 import numpy as np
 
-from repro.evo.problem import Problem
+from repro.evo.problem import WithMetadataProblem
 from repro.exceptions import TrainingDivergedError
 from repro.hpc.runtime_model import TrainingRuntimeModel
 from repro.nn.lr_schedule import scale_lr_by_workers
 from repro.rng import RngLike, ensure_rng
+
+# ----------------------------------------------------------------------
+# counter-based noise: splitmix64 over a per-phenome hash
+# ----------------------------------------------------------------------
+_MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+_MIX_MUL1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX_MUL2 = np.uint64(0x94D049BB133111EB)
+
+#: fixed counter slots — every draw a phenome's evaluation can consume
+#: has its own slot, so no draw's value depends on which branches ran
+_SLOT_BACKGROUND = 0
+_SLOT_RISKY = 1
+_SLOT_BALANCE_A, _SLOT_BALANCE_B = 2, 3
+_SLOT_ENERGY_A, _SLOT_ENERGY_B = 4, 5
+_SLOT_FORCE_A, _SLOT_FORCE_B = 6, 7
+_SLOT_FAIL_RUNTIME = 8
+_SLOT_RUNTIME_A, _SLOT_RUNTIME_B = 9, 10
+
+_CRC_CACHE: dict[str, int] = {}
+
+
+def _mix64(z: np.ndarray) -> np.ndarray:
+    """The splitmix64 finalizer, vectorized over uint64 arrays."""
+    z = (z ^ (z >> np.uint64(30))) * _MIX_MUL1
+    z = (z ^ (z >> np.uint64(27))) * _MIX_MUL2
+    return z ^ (z >> np.uint64(31))
+
+
+def _slot_uniform(h: np.ndarray, slot: int) -> np.ndarray:
+    """Uniform [0, 1) draws for counter ``slot`` at each hash."""
+    inc = np.uint64((_GOLDEN * (slot + 1)) & _MASK64)
+    return (_mix64(h + inc) >> np.uint64(11)) * np.float64(2.0**-53)
+
+
+def _slot_normal(h: np.ndarray, slot_a: int, slot_b: int) -> np.ndarray:
+    """Standard-normal draws via Box–Muller from two uniform slots."""
+    u_a = _slot_uniform(h, slot_a)
+    u_b = _slot_uniform(h, slot_b)
+    return np.sqrt(-2.0 * np.log1p(-u_a)) * np.cos(
+        (2.0 * math.pi) * u_b
+    )
+
+
+def _crc_word(value: Any) -> int:
+    """Process-stable hash word for a non-float gene value."""
+    s = value if isinstance(value, str) else str(value)
+    word = _CRC_CACHE.get(s)
+    if word is None:
+        word = _CRC_CACHE[s] = zlib.crc32(s.encode("utf-8"))
+    return word
+
+
+def _column_words(values: list[Any]) -> np.ndarray:
+    """Hash words for one gene column (float bits or crc32)."""
+    if all(isinstance(v, float) for v in values):
+        return np.asarray(values, dtype=np.float64).view(np.uint64)
+    return np.fromiter(
+        (
+            np.float64(v).view(np.uint64)
+            if isinstance(v, float)
+            else _crc_word(v)
+            for v in values
+        ),
+        dtype=np.uint64,
+        count=len(values),
+    )
 
 
 @dataclass(frozen=True)
@@ -120,13 +194,18 @@ class LandscapeCalibration:
     background_failure_rate: float = 0.002
 
 
-class SurrogateDeepMDProblem(Problem):
+class SurrogateDeepMDProblem(WithMetadataProblem):
     """Drop-in replacement for :class:`repro.hpo.evaluator.DeepMDProblem`.
 
     Evaluations are deterministic given the problem seed and the
-    phenome (noise is drawn from a per-evaluation stream derived from
+    phenome (noise is drawn from a counter-based stream derived from
     both), so campaign results are exactly reproducible regardless of
-    evaluation order or parallelism.
+    evaluation order, batch composition, or parallelism.  A whole
+    population evaluates in one NumPy sweep via
+    :meth:`evaluate_batch_with_metadata`; subclasses that override the
+    scalar surface hooks (``mean_objectives``, ``_sample_runtime``,
+    ``effective_start_lr``) automatically fall back to the per-phenome
+    path.
     """
 
     n_objectives = 2
@@ -284,6 +363,48 @@ class SurrogateDeepMDProblem(Problem):
     def evaluate_with_metadata(
         self, phenome: dict[str, Any], uuid: Optional[str] = None
     ) -> tuple[np.ndarray, dict[str, Any]]:
+        """Scalar view: a batch of one through the vectorized path, so
+        scalar and batch evaluation are bit-identical by construction
+        (subclasses overriding the surface hooks use the rng path)."""
+        if not self._vectorizable():
+            return self._evaluate_one_with_metadata(phenome)
+        outcome = self._evaluate_batch_vectorized([phenome])[0]
+        if isinstance(outcome, BaseException):
+            raise outcome
+        return outcome
+
+    def evaluate_batch_with_metadata(
+        self,
+        phenomes: Sequence[dict[str, Any]],
+        uuids: Optional[Sequence[Optional[str]]] = None,
+    ) -> list[Any]:
+        """One outcome slot per phenome: ``(fitness, metadata)`` or the
+        exception that phenome raises, whole batch in one NumPy sweep."""
+        if self._vectorizable():
+            return self._evaluate_batch_vectorized(list(phenomes))
+        outcomes: list[Any] = []
+        for phenome in phenomes:
+            try:
+                outcomes.append(self._evaluate_one_with_metadata(phenome))
+            except Exception as exc:  # noqa: BLE001 - isolated per slot
+                outcomes.append(exc)
+        return outcomes
+
+    def _vectorizable(self) -> bool:
+        """The vectorized sweep mirrors this class's scalar surface; a
+        subclass overriding any surface hook gets the rng path."""
+        cls = type(self)
+        return (
+            cls.mean_objectives is SurrogateDeepMDProblem.mean_objectives
+            and cls._sample_runtime is SurrogateDeepMDProblem._sample_runtime
+            and cls.effective_start_lr
+            is SurrogateDeepMDProblem.effective_start_lr
+        )
+
+    def _evaluate_one_with_metadata(
+        self, phenome: dict[str, Any]
+    ) -> tuple[np.ndarray, dict[str, Any]]:
+        """Per-phenome rng path (subclasses with overridden hooks)."""
         rng = self._eval_rng(phenome)
         with self._lock:
             self.evaluations += 1
@@ -345,8 +466,289 @@ class SurrogateDeepMDProblem(Problem):
         model = TrainingRuntimeModel(rng=rng)
         return model.runtime_minutes(phenome["rcut"], failed=failed)
 
-    def evaluate(self, phenome: dict[str, Any]) -> np.ndarray:
-        from repro.engine.invoke import call_problem
+    # ------------------------------------------------------------------
+    # vectorized sweep
+    # ------------------------------------------------------------------
+    #: the genes the response surface reads
+    _GENES = (
+        "rcut",
+        "rcut_smth",
+        "start_lr",
+        "stop_lr",
+        "fitting_activ_func",
+        "desc_activ_func",
+        "scale_by_worker",
+    )
 
-        fitness, _ = call_problem(self, phenome)
-        return fitness
+    def _evaluate_batch_vectorized(
+        self, phenomes: list[dict[str, Any]]
+    ) -> list[Any]:
+        """One NumPy sweep per homogeneous phenome group.
+
+        Phenomes are grouped by key set (the per-phenome hash folds
+        over *all* keys, so grouping keeps the value at a phenome
+        independent of batch composition); in practice a population is
+        one group and the whole batch is a single sweep.
+        """
+        outcomes: list[Any] = [None] * len(phenomes)
+        groups: dict[tuple[str, ...], list[int]] = {}
+        for i, phenome in enumerate(phenomes):
+            try:
+                key = tuple(sorted(phenome))
+            except Exception as exc:  # noqa: BLE001 - not a mapping
+                outcomes[i] = exc
+                continue
+            groups.setdefault(key, []).append(i)
+        for key, idx in groups.items():
+            missing = next(
+                (name for name in self._GENES if name not in key), None
+            )
+            if missing is not None:
+                with self._lock:
+                    self.evaluations += len(idx)
+                for i in idx:
+                    outcomes[i] = KeyError(missing)
+                continue
+            self._evaluate_group(phenomes, idx, key, outcomes)
+        return outcomes
+
+    def _evaluate_group(
+        self,
+        phenomes: list[dict[str, Any]],
+        idx: list[int],
+        key_names: tuple[str, ...],
+        outcomes: list[Any],
+    ) -> None:
+        c = self.calibration
+        m = len(idx)
+        cols = {
+            name: [phenomes[i][name] for i in idx] for name in key_names
+        }
+        with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+            # per-phenome hash: the problem seed folded with every
+            # gene's (name, value) — the counter-based analogue of the
+            # old per-evaluation SeedSequence
+            h = np.full(
+                m, np.uint64(self.seed & _MASK64), dtype=np.uint64
+            )
+            for name in key_names:
+                words = _column_words(cols[name])
+                h = _mix64(
+                    h ^ _mix64(words ^ np.uint64(_crc_word(name)))
+                )
+            try:
+                rcut = np.asarray(cols["rcut"], dtype=np.float64)
+                rcut_smth = np.asarray(
+                    cols["rcut_smth"], dtype=np.float64
+                )
+                start_lr = np.asarray(
+                    cols["start_lr"], dtype=np.float64
+                )
+                stop_lr = np.asarray(cols["stop_lr"], dtype=np.float64)
+            except (TypeError, ValueError) as exc:
+                with self._lock:
+                    self.evaluations += m
+                for i in idx:
+                    outcomes[i] = TypeError(str(exc))
+                return
+            # effective start rate (nan marks an unresolvable scheme,
+            # surfaced per slot as the scalar path's ValueError)
+            workers_ok = self.n_workers >= 1
+            factor_map = {
+                "linear": float(self.n_workers),
+                "sqrt": math.sqrt(self.n_workers) if workers_ok else 0.0,
+                "none": 1.0,
+            }
+            schemes = cols["scale_by_worker"]
+            factors = np.empty(m, dtype=np.float64)
+            bad_scheme: list[int] = []
+            for j, scheme in enumerate(schemes):
+                factor = (
+                    factor_map.get(scheme) if workers_ok else None
+                )
+                if factor is None:
+                    factors[j] = np.nan
+                    bad_scheme.append(j)
+                else:
+                    factors[j] = factor
+            eff = start_lr * factors
+            # failure partition, in the scalar path's precedence order
+            code = np.zeros(m, dtype=np.int8)
+            code[
+                _slot_uniform(h, _SLOT_BACKGROUND)
+                < c.background_failure_rate
+            ] = 1
+            for j in bad_scheme:
+                if code[j] == 0:
+                    code[j] = 2
+            ok = code == 0
+            u_risky = _slot_uniform(h, _SLOT_RISKY)
+            code[
+                ok
+                & (eff > c.lr_risky_threshold)
+                & (u_risky < c.lr_risky_failure_rate)
+            ] = 3
+            ok = code == 0
+            code[ok & (rcut_smth >= rcut)] = 4
+            ok = code == 0
+            code[ok & ((eff <= 0.0) | (stop_lr <= 0.0))] = 5
+            ok = code == 0
+            code[ok & (eff > c.lr_divergence_threshold)] = 6
+            # the response surface (nan-safe: failed slots are masked
+            # out of the outcomes below)
+            log_eff = np.log10(eff)
+            lr_width = np.where(
+                log_eff < c.lr_optimum_log10,
+                c.lr_width_low_log10,
+                c.lr_width_log10,
+            )
+            lr_term = ((log_eff - c.lr_optimum_log10) / lr_width) ** 2
+            stop_term = (
+                (np.log10(stop_lr) - c.stop_lr_optimum_log10)
+                / c.stop_lr_width_log10
+            ) ** 2
+            rcut_decay = np.exp(-(rcut - c.rcut_ref) / c.rcut_length)
+            smth_excess = np.maximum(rcut_smth - 2.0, 0.0)
+            fit_f = {
+                "relu": c.fitting_relu_penalty[0],
+                "relu6": c.fitting_relu6_penalty[0],
+            }
+            fit_e = {
+                "relu": c.fitting_relu_penalty[1],
+                "relu6": c.fitting_relu6_penalty[1],
+            }
+            desc_f = {
+                "sigmoid": c.desc_sigmoid_penalty[0],
+                "relu": c.desc_relu_penalty[0],
+                "relu6": c.desc_relu6_penalty[0],
+            }
+            desc_e = {
+                "sigmoid": c.desc_sigmoid_penalty[1],
+                "relu": c.desc_relu_penalty[1],
+                "relu6": c.desc_relu6_penalty[1],
+            }
+            fit_act = cols["fitting_activ_func"]
+            desc_act = cols["desc_activ_func"]
+            f_pen = np.fromiter(
+                (fit_f.get(a, 0.0) for a in fit_act), np.float64, m
+            ) + np.fromiter(
+                (desc_f.get(a, 0.0) for a in desc_act), np.float64, m
+            )
+            e_pen = np.fromiter(
+                (fit_e.get(a, 0.0) for a in fit_act), np.float64, m
+            ) + np.fromiter(
+                (desc_e.get(a, 0.0) for a in desc_act), np.float64, m
+            )
+            f_end = np.minimum(stop_lr / eff, 1.0)
+            theta = np.clip(
+                (np.log10(np.maximum(f_end, 1e-8)) + 4.0) / 4.0,
+                0.0,
+                1.0,
+            )
+            force = (
+                c.force_floor
+                + c.lr_force_gain * lr_term
+                + c.stop_lr_force_gain * stop_term
+                + c.rcut_force_gain * rcut_decay
+                + c.smth_force_gain * smth_excess
+                + f_pen
+                + c.tradeoff_force_span * (1.0 - theta)
+            )
+            energy = (
+                c.energy_floor
+                + c.lr_energy_gain * lr_term
+                + c.stop_lr_energy_gain * stop_term
+                + c.rcut_energy_gain * rcut_decay
+                + c.smth_energy_gain * smth_excess
+                + e_pen
+                + c.tradeoff_energy_span * theta
+            )
+            z = _slot_normal(h, _SLOT_BALANCE_A, _SLOT_BALANCE_B)
+            energy = energy * np.exp(
+                c.energy_noise
+                * _slot_normal(h, _SLOT_ENERGY_A, _SLOT_ENERGY_B)
+                + c.balance_noise_energy * z
+            )
+            force = force * np.exp(
+                c.force_noise
+                * _slot_normal(h, _SLOT_FORCE_A, _SLOT_FORCE_B)
+                - c.balance_noise_force * z
+            )
+            if self.simulate_runtime:
+                rt = self._runtime_model
+                lo, hi = rt.fail_minutes
+                fail_runtime = (
+                    lo
+                    + _slot_uniform(h, _SLOT_FAIL_RUNTIME) * (hi - lo)
+                ).tolist()
+                base = rt.fixed_minutes + rt.env_minutes * (
+                    rcut / rt.rcut_ref
+                ) ** 3
+                ok_runtime = (
+                    base
+                    * np.exp(
+                        rt.jitter_sigma
+                        * _slot_normal(
+                            h, _SLOT_RUNTIME_A, _SLOT_RUNTIME_B
+                        )
+                    )
+                ).tolist()
+            else:
+                fail_runtime = ok_runtime = [0.0] * m
+        codes = code.tolist()
+        with self._lock:
+            self.evaluations += m
+            self.failures += sum(
+                1 for k in codes if k not in (0, 2)
+            )
+        effs = eff.tolist()
+        energies = energy.tolist()
+        forces = force.tolist()
+        for j, i in enumerate(idx):
+            k = codes[j]
+            if k == 0:
+                metadata: dict[str, Any] = {
+                    "phenome": dict(phenomes[i]),
+                    "failed": False,
+                }
+                if self.simulate_runtime:
+                    metadata["runtime_minutes"] = ok_runtime[j]
+                outcomes[i] = (
+                    np.array([energies[j], forces[j]]),
+                    metadata,
+                )
+                continue
+            if k == 2:
+                try:
+                    scale_lr_by_workers(
+                        cols["start_lr"][j], self.n_workers, schemes[j]
+                    )
+                    outcomes[i] = ValueError(
+                        f"unknown worker scaling {schemes[j]!r}"
+                    )  # pragma: no cover - scale_lr always raises here
+                except ValueError as exc:
+                    outcomes[i] = exc
+                continue
+            if k == 1:
+                message = "spurious configuration/system failure"
+            elif k == 3:
+                message = (
+                    f"effective start_lr {effs[j]:.3g} in the "
+                    "unstable band"
+                )
+            elif k == 4:
+                message = "rcut_smth >= rcut: descriptor undefined"
+            elif k == 5:
+                message = "non-positive learning rate"
+            else:
+                message = f"effective start_lr {effs[j]:.3g} diverges"
+            exc = TrainingDivergedError(message)
+            exc.metadata = {  # type: ignore[attr-defined]
+                "phenome": dict(phenomes[i]),
+                "failed": True,
+                "failure_cause": f"{type(exc).__name__}: {exc}",
+                "runtime_minutes": (
+                    fail_runtime[j] if self.simulate_runtime else 0.0
+                ),
+            }
+            outcomes[i] = exc

@@ -80,7 +80,7 @@ class NullCampaignStatus:
     def publish_generation(self, **fields: Any) -> None:
         return None
 
-    def publish_engine(self, stats: Any) -> None:
+    def publish_engine(self, stats: Any, **extra: Any) -> None:
         return None
 
     def worker_update(self, name: str, **fields: Any) -> None:
@@ -178,11 +178,13 @@ class CampaignStatus:
                 }
             )
 
-    def publish_engine(self, stats: Any) -> None:
+    def publish_engine(self, stats: Any, **extra: Any) -> None:
         """Latest :class:`~repro.engine.core.EngineStats` view (an
-        object with ``as_dict`` or a plain mapping)."""
+        object with ``as_dict`` or a plain mapping), plus engine-side
+        extras (batch counts, per-campaign throughput)."""
         as_dict = getattr(stats, "as_dict", None)
         data = dict(as_dict() if as_dict is not None else stats)
+        data.update(extra)
         with self._lock:
             self._engine = data
 

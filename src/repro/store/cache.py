@@ -38,8 +38,12 @@ from typing import Any, Optional
 
 import numpy as np
 
-from repro.engine.invoke import call_problem, failure_fitness
-from repro.evo.problem import Problem
+from repro.engine.invoke import (
+    call_problem,
+    call_problem_batch,
+    failure_fitness,
+)
+from repro.evo.problem import BatchOutcome, WithMetadataProblem
 from repro.exceptions import EvaluationError
 from repro.injection import FaultInjector, get_injector
 from repro.obs.metrics import MetricsRegistry, get_registry
@@ -381,7 +385,7 @@ def _strip_nonjson(value: Any) -> Any:
     return walk(value)
 
 
-class CachedProblem(Problem):
+class CachedProblem(WithMetadataProblem):
     """Wrap any problem with cache lookup-before / insert-after.
 
     The wrapped problem supplies its identity through
@@ -462,6 +466,74 @@ class CachedProblem(Problem):
         )
         return fitness, metadata
 
-    def evaluate(self, phenome: Any) -> np.ndarray:
-        fitness, _ = call_problem(self, phenome)
-        return fitness
+    def evaluate_batch_with_metadata(
+        self, phenomes: Any, uuids: Optional[Any] = None
+    ) -> list[BatchOutcome]:
+        """Probe the cache for the whole batch, execute only the
+        misses through the inner problem's batch path, and insert
+        fresh results (and failures, under ``cache_failures``) exactly
+        as the scalar path would — per slot, in batch order."""
+        phenome_list = list(phenomes)
+        uuid_list = (
+            list(uuids)
+            if uuids is not None
+            else [None] * len(phenome_list)
+        )
+        outcomes: list[BatchOutcome] = [None] * len(phenome_list)
+        keys: list[Optional[str]] = [None] * len(phenome_list)
+        miss: list[int] = []
+        for i, phenome in enumerate(phenome_list):
+            try:
+                key = self.cache_key(phenome)
+            except Exception as exc:  # unhashable phenome: fail the slot
+                outcomes[i] = exc
+                continue
+            keys[i] = key
+            entry = self.cache.lookup(key)
+            if entry is None:
+                miss.append(i)
+            elif entry.failed:
+                outcomes[i] = CachedFailure(
+                    entry.error or "memoized evaluation failure",
+                    metadata={**entry.metadata, "cache_hit": True},
+                )
+            else:
+                outcomes[i] = (
+                    entry.fitness_array(),
+                    {**entry.metadata, "cache_hit": True},
+                )
+        if miss:
+            fresh = call_problem_batch(
+                self.problem,
+                [phenome_list[i] for i in miss],
+                uuids=[uuid_list[i] for i in miss],
+            )
+            for i, slot in zip(miss, fresh):
+                key = keys[i]
+                if isinstance(slot, BaseException):
+                    meta = dict(getattr(slot, "metadata", None) or {})
+                    meta.setdefault("failed", True)
+                    meta.setdefault(
+                        "failure_cause",
+                        f"{type(slot).__name__}: {slot}",
+                    )
+                    slot.metadata = meta  # type: ignore[attr-defined]
+                    self.cache.insert(
+                        key,
+                        failure_fitness(self.n_objectives),
+                        metadata=meta,
+                        failed=True,
+                        error=meta["failure_cause"],
+                    )
+                    outcomes[i] = slot
+                else:
+                    fitness, metadata = slot
+                    self.cache.insert(
+                        key,
+                        fitness,
+                        metadata=metadata,
+                        failed=bool(metadata.get("failed", False)),
+                        error=metadata.get("failure_cause"),
+                    )
+                    outcomes[i] = (fitness, metadata)
+        return outcomes

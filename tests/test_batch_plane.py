@@ -1,0 +1,296 @@
+"""Batch-first evaluation data plane: bit-identity and isolation.
+
+The contract under test (DESIGN.md "Evaluation data plane"): routing a
+population through ``EvaluationEngine.evaluate_batch`` — or a whole
+NSGA-II run through ``batch``/``pipeline`` mode — must be
+*bit-identical* to the scalar submit-per-individual path: same fronts,
+same journal records, same engine statistics.  Failure isolation is
+per-slot in-process and per-chunk across the pool (a worker crash
+MAXINTs only the chunk it held).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chaos import Fault, FaultPlan
+from repro.engine import EvaluationEngine, call_problem, call_problem_batch
+from repro.engine.pool import ProcessPoolBackend
+from repro.evo.algorithm import generational_nsga2
+from repro.evo.individual import MAXINT, RobustIndividual
+from repro.evo.problem import WithMetadataProblem
+from repro.hpo.landscape import SurrogateDeepMDProblem
+from repro.hpo.representation import DeepMDRepresentation
+from repro.injection import use_injector
+from repro.store import CachedProblem, EvaluationCache
+
+
+class CountingSurrogate(SurrogateDeepMDProblem):
+    """Surrogate that counts batch-path invocations (and, by
+    subclassing nothing else, still takes the vectorized path)."""
+
+    def __init__(self, **kw):
+        super().__init__(**kw)
+        self.batch_calls = 0
+
+    def evaluate_batch_with_metadata(self, phenomes, uuids=None):
+        self.batch_calls += 1
+        return super().evaluate_batch_with_metadata(phenomes, uuids=uuids)
+
+
+class FlakyProblem(WithMetadataProblem):
+    """Deterministic per-phenome pass/fail for isolation tests."""
+
+    n_objectives = 2
+
+    def evaluate_with_metadata(self, phenome, uuid=None):
+        x = float(phenome["x"])
+        if x < 0:
+            raise ValueError(f"negative input {x}")
+        return np.array([x, x * x]), {"phenome": dict(phenome), "failed": False}
+
+
+class DictDecoder:
+    """Genome ``[x]`` → phenome ``{"x": x}`` (module-level: picklable)."""
+
+    def decode(self, genome):
+        return {"x": float(genome[0])}
+
+
+class SurrogateGenomeDecoder:
+    """Genome ``[rcut]`` → a full valid surrogate phenome."""
+
+    def decode(self, genome):
+        return {
+            "rcut": float(genome[0]),
+            "rcut_smth": 1.0,
+            "start_lr": 0.001,
+            "stop_lr": 1e-8,
+            "fitting_activ_func": "tanh",
+            "desc_activ_func": "tanh",
+            "scale_by_worker": "none",
+        }
+
+
+def _flaky_individuals(xs):
+    problem = FlakyProblem()
+    decoder = DictDecoder()
+    return [
+        RobustIndividual(np.array([float(x)]), decoder=decoder, problem=problem)
+        for x in xs
+    ]
+
+
+class RecordingJournal:
+    """Duck-typed CampaignJournal capturing generation commits."""
+
+    def __init__(self):
+        self.entries = []
+
+    def append_generation(self, record, rng_state=None):
+        self.entries.append(
+            (
+                record.generation,
+                record.fitness_matrix().copy(),
+                record.evaluated_fitness_matrix().copy(),
+                record.std.copy(),
+                record.n_failures,
+                rng_state,
+            )
+        )
+
+
+def _stats_tuple(stats):
+    return (
+        stats.submitted,
+        stats.completed,
+        stats.fresh,
+        stats.cache_hits,
+        stats.dedup_hits,
+        stats.failures,
+        stats.timeouts,
+    )
+
+
+def _run_nsga2(seed, **mode):
+    rep = DeepMDRepresentation
+    problem = SurrogateDeepMDProblem(seed=7)
+    engine = EvaluationEngine(dedup=True, dedup_scope="batch")
+    journal = RecordingJournal()
+    records = generational_nsga2(
+        problem,
+        rep.init_ranges,
+        rep.mutation_std,
+        pop_size=8,
+        generations=2,
+        hard_bounds=rep.bounds,
+        decoder=rep.decoder(),
+        rng=np.random.default_rng(seed),
+        engine=engine,
+        journal=journal,
+        **mode,
+    )
+    return records, journal, engine
+
+
+class TestBatchBitIdentity:
+    """Scalar vs batch vs pipeline: everything observable matches."""
+
+    @given(seed=st.integers(min_value=0, max_value=2**20))
+    @settings(max_examples=8, deadline=None)
+    def test_modes_bit_identical(self, seed):
+        scalar = _run_nsga2(seed)
+        batch = _run_nsga2(seed, batch=True)
+        pipeline = _run_nsga2(seed, pipeline=True)
+        for name, other in (("batch", batch), ("pipeline", pipeline)):
+            recs_a, journal_a, eng_a = scalar
+            recs_b, journal_b, eng_b = other
+            assert len(recs_a) == len(recs_b), name
+            for ra, rb in zip(recs_a, recs_b):
+                assert ra.generation == rb.generation
+                assert np.array_equal(
+                    ra.fitness_matrix(), rb.fitness_matrix()
+                ), name
+                assert np.array_equal(
+                    ra.evaluated_fitness_matrix(),
+                    rb.evaluated_fitness_matrix(),
+                ), name
+                assert np.array_equal(ra.std, rb.std)
+                assert ra.n_failures == rb.n_failures
+            # journal: same records, same order, same RNG states
+            assert len(journal_a.entries) == len(journal_b.entries)
+            for ea, eb in zip(journal_a.entries, journal_b.entries):
+                assert ea[0] == eb[0]
+                assert np.array_equal(ea[1], eb[1])
+                assert np.array_equal(ea[2], eb[2])
+                assert ea[5] == eb[5], f"{name}: rng state diverged"
+            assert _stats_tuple(eng_a.stats) == _stats_tuple(eng_b.stats)
+
+    @given(
+        xs=st.lists(
+            st.integers(min_value=-5, max_value=5), min_size=1, max_size=12
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_engine_batch_matches_scalar_with_failures_and_dups(self, xs):
+        """Duplicates, failures, and order survive the batch plane."""
+        eng_a = EvaluationEngine(dedup=True, dedup_scope="batch")
+        eng_b = EvaluationEngine(dedup=True, dedup_scope="batch")
+        a = eng_a.evaluate(_flaky_individuals(xs))
+        b = eng_b.evaluate_batch(_flaky_individuals(xs))
+        assert np.array_equal(
+            np.array([i.fitness for i in a]),
+            np.array([i.fitness for i in b]),
+        )
+        for ia, ib in zip(a, b):
+            assert ia.metadata.get("failed", False) == ib.metadata.get(
+                "failed", False
+            )
+            assert ia.metadata.get("error") == ib.metadata.get("error")
+        assert _stats_tuple(eng_a.stats) == _stats_tuple(eng_b.stats)
+
+
+class TestBatchWrappers:
+    def test_default_batch_isolates_failing_slot(self):
+        problem = FlakyProblem()
+        outcomes = call_problem_batch(
+            problem, [{"x": 1.0}, {"x": -2.0}, {"x": 3.0}]
+        )
+        assert isinstance(outcomes[1], ValueError)
+        fit0, meta0 = outcomes[0]
+        assert np.array_equal(fit0, [1.0, 1.0])
+        assert meta0["failed"] is False
+        fit2, _ = outcomes[2]
+        assert np.array_equal(fit2, [3.0, 9.0])
+
+    def test_cached_problem_batch_executes_only_misses(self, tmp_path):
+        inner = CountingSurrogate(seed=3)
+        cached = CachedProblem(inner, EvaluationCache(tmp_path / "c"))
+        dec = SurrogateGenomeDecoder()
+        phenomes = [dec.decode([6.0 + 0.1 * i]) for i in range(6)]
+        # prime half the cache through the scalar path
+        primed = [call_problem(cached, p) for p in phenomes[:3]]
+        evals_before = inner.evaluations
+        outcomes = cached.evaluate_batch_with_metadata(phenomes)
+        assert inner.evaluations - evals_before == 3  # only the misses
+        for (fit_scalar, _), slot in zip(primed, outcomes[:3]):
+            fit_batch, meta = slot
+            assert np.array_equal(fit_scalar, fit_batch)
+            assert meta["cache_hit"] is True
+        for slot in outcomes[3:]:
+            _, meta = slot
+            assert "cache_hit" not in meta
+        # a second batch is all hits: the inner problem is not called
+        calls_before = inner.batch_calls
+        again = cached.evaluate_batch_with_metadata(phenomes)
+        assert inner.batch_calls == calls_before
+        for a, b in zip(outcomes, again):
+            assert np.array_equal(a[0], b[0])
+
+    def test_cached_problem_batch_replays_memoized_failures(self, tmp_path):
+        from repro.store.cache import CachedFailure
+
+        problem = FlakyProblem()
+        cached = CachedProblem(
+            problem, EvaluationCache(tmp_path / "c", cache_failures=True)
+        )
+        first = cached.evaluate_batch_with_metadata([{"x": -1.0}, {"x": 2.0}])
+        assert isinstance(first[0], ValueError)
+        replay = cached.evaluate_batch_with_metadata([{"x": -1.0}, {"x": 2.0}])
+        assert isinstance(replay[0], CachedFailure)
+        assert replay[0].metadata["cache_hit"] is True
+        _, meta = replay[1]
+        assert meta["cache_hit"] is True
+
+    def test_surrogate_batch_slots_match_scalar_calls(self):
+        problem = SurrogateDeepMDProblem(seed=13)
+        dec = SurrogateGenomeDecoder()
+        phenomes = [dec.decode([5.5 + 0.25 * i]) for i in range(8)]
+        # include a deterministic failure: rcut_smth >= rcut
+        phenomes.append({**phenomes[0], "rcut_smth": 99.0})
+        batch = call_problem_batch(problem, phenomes)
+        for phenome, slot in zip(phenomes, batch):
+            try:
+                fit, meta = call_problem(problem, phenome)
+            except Exception as exc:
+                assert isinstance(slot, BaseException)
+                assert str(slot) == str(exc)
+                assert slot.metadata["failure_cause"] == (
+                    exc.metadata["failure_cause"]
+                )
+            else:
+                assert np.array_equal(fit, slot[0])
+                assert meta == slot[1]
+
+
+@pytest.mark.slow
+class TestPoolChunkIsolation:
+    def test_worker_crash_maxints_only_its_chunk(self):
+        """§2.2.4 at chunk granularity: a worker death fails the chunk
+        it held, and nothing else."""
+        problem = SurrogateDeepMDProblem(seed=7)
+        decoder = SurrogateGenomeDecoder()
+        individuals = [
+            RobustIndividual(
+                np.array([6.0 + 0.1 * i]), decoder=decoder, problem=problem
+            )
+            for i in range(9)
+        ]
+        plan = FaultPlan([Fault(kind="worker_death", at=0, worker="pool-1")])
+        with use_injector(plan.injector()):
+            with ProcessPoolBackend(workers=3) as backend:
+                engine = EvaluationEngine(client=backend)
+                done = engine.evaluate_batch(individuals, chunk_size=3)
+        fitness = np.array([ind.fitness for ind in done])
+        maxed = [i for i, row in enumerate(fitness) if row[0] == MAXINT]
+        # lowest-index-first dispatch: pool-1 held the second chunk
+        assert maxed == [3, 4, 5]
+        assert engine.stats.failures == 3
+        assert engine.stats.completed == 9
+        for i in maxed:
+            assert "WorkerFailure" in done[i].metadata["error"]
+        for i in (0, 1, 2, 6, 7, 8):
+            assert done[i].metadata["failed"] is False

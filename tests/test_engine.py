@@ -383,11 +383,21 @@ class TestSteadyStateAccounting:
 # ----------------------------------------------------------------------
 # the AST guard: one failure policy, one evaluation entry point
 # ----------------------------------------------------------------------
-#: modules allowed to call Problem.evaluate* / build MAXINT fitness
-_GUARD_WHITELIST = ("repro/engine/", "repro/evo/individual.py")
+#: modules allowed to call Problem.evaluate* / build MAXINT fitness —
+#: the engine itself, the robust individual's exception fallback, and
+#: the Problem base class's default batch fallback loop
+_GUARD_WHITELIST = (
+    "repro/engine/",
+    "repro/evo/individual.py",
+    "repro/evo/problem.py",
+)
 
 #: receiver names that denote the engine itself, not a problem
 _ENGINE_RECEIVERS = {"eng", "engine"}
+
+#: sanctioned per-evaluation helpers that must not be looped over —
+#: batch work goes through `engine.evaluate_batch` / `call_problem_batch`
+_LOOPED_HELPERS = {"call_problem", "evaluate_individual"}
 
 
 def _receiver_name(node):
@@ -396,6 +406,24 @@ def _receiver_name(node):
     if isinstance(node, ast.Attribute):
         return node.attr
     return None
+
+
+def _loop_bodies(tree):
+    """Yield every AST node nested inside a loop or comprehension."""
+    loop_types = (
+        ast.For,
+        ast.AsyncFor,
+        ast.While,
+        ast.ListComp,
+        ast.SetComp,
+        ast.DictComp,
+        ast.GeneratorExp,
+    )
+    for node in ast.walk(tree):
+        if isinstance(node, loop_types):
+            for child in ast.walk(node):
+                if child is not node:
+                    yield child
 
 
 def _guard_violations(path: Path):
@@ -419,6 +447,21 @@ def _guard_violations(path: Path):
                 violations.append(
                     f"{path}:{node.lineno}: inline MAXINT fitness"
                 )
+    # per-individual evaluation loops: ban looping the scalar helpers
+    # outside the engine and the Problem base fallback
+    looped = set()
+    for node in _loop_bodies(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _LOOPED_HELPERS
+            and id(node) not in looped
+        ):
+            looped.add(id(node))
+            violations.append(
+                f"{path}:{node.lineno}: {node.func.id}() in a loop "
+                "(use the batch path)"
+            )
     return violations
 
 
@@ -447,6 +490,29 @@ class TestFailurePolicyGuard:
         )
         found = _guard_violations(bad)
         assert len(found) == 2
+
+    def test_loop_guard_detects_scalar_helper_in_loop(self, tmp_path):
+        bad = tmp_path / "bad_loop.py"
+        bad.write_text(
+            "def f(problems, phenomes):\n"
+            "    out = []\n"
+            "    for problem, phenome in zip(problems, phenomes):\n"
+            "        out.append(call_problem(problem, phenome))\n"
+            "    comp = [evaluate_individual(i) for i in phenomes]\n"
+            "    return out, comp\n"
+        )
+        found = _guard_violations(bad)
+        loops = [v for v in found if "in a loop" in v]
+        assert len(loops) == 2
+        # the same helpers outside a loop are fine
+        good = tmp_path / "good_call.py"
+        good.write_text(
+            "def g(problem, phenome):\n"
+            "    return call_problem(problem, phenome)\n"
+        )
+        assert not [
+            v for v in _guard_violations(good) if "in a loop" in v
+        ]
 
 
 # ----------------------------------------------------------------------
