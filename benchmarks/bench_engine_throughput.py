@@ -78,6 +78,48 @@ def _measure(client: Any, problem: SleepProblem, n_tasks: int) -> dict:
     }
 
 
+def _measure_fleet(
+    problem: SleepProblem, n_tasks: int, revoke: bool
+) -> dict:
+    """Time a sleep-bound batch through the elastic fleet (2-worker
+    pool + inline reserve, autoscale off).  With ``revoke`` one pool
+    worker is preempted right after dispatch, so the run pays the full
+    requeue path: bury the in-flight chunk, replay it on the survivor,
+    finish on half the capacity."""
+    from repro.engine import (
+        ElasticBackend,
+        EvaluationEngine,
+        InlineBackend,
+        ProcessPoolBackend,
+    )
+    from repro.obs.metrics import MetricsRegistry
+
+    pool = ProcessPoolBackend(workers=2)
+    fleet = ElasticBackend(
+        [pool, InlineBackend()],
+        autoscale_interval=None,
+        owns_members=True,
+    )
+    with fleet:
+        engine = EvaluationEngine(
+            client=fleet, metrics=MetricsRegistry(), fault_injector=None
+        )
+        engine.evaluate(_individuals(problem, 2))  # warm-up
+        batch = _individuals(problem, n_tasks)
+        t0 = time.perf_counter()
+        for ind in batch:
+            engine.submit(ind)
+        if revoke:
+            pool.revoke_worker()
+        done: list[Any] = []
+        while engine.has_pending():
+            done.extend(engine.wait_any(timeout=120))
+        wall = time.perf_counter() - t0
+    assert len(done) == n_tasks
+    assert all(ind.fitness is not None for ind in done)
+    return {"wall_s": wall, "evals_per_sec": n_tasks / wall}
+
+
 def _surrogate_individuals(problem: Any, n: int) -> list[Any]:
     from repro.evo.individual import RobustIndividual
     from repro.hpo.representation import DeepMDRepresentation
@@ -145,6 +187,20 @@ def run(quick: bool = False) -> dict:
         entry["speedup_vs_inline"] = entry["evals_per_sec"] / inline_eps
         results[f"pool_{workers}"] = entry
 
+    # fleet requeue path: same sleep-bound batch through the elastic
+    # fleet, clean vs one spot-style preemption mid-flight.  The ratio
+    # bounds the cost of losing a worker: it folds in both the replay
+    # of the buried chunk and finishing on half the capacity, so a
+    # clean fleet keeps it near 1 and anything pathological in the
+    # requeue machinery (storms, stalls, duplicate dispatch) blows it
+    # past the ceiling.
+    results["fleet_clean"] = _measure_fleet(problem, n_tasks, revoke=False)
+    results["fleet_revoked"] = _measure_fleet(problem, n_tasks, revoke=True)
+    results["fleet_revoked"]["requeue_overhead_ratio"] = (
+        results["fleet_revoked"]["wall_s"]
+        / results["fleet_clean"]["wall_s"]
+    )
+
     # batch data plane: vectorized surrogate, scalar loop vs one
     # chunked batch submission (compute-bound, not sleep-bound)
     n_surrogate = 2048  # large enough to amortize per-batch overhead
@@ -174,6 +230,9 @@ def run(quick: bool = False) -> dict:
             ],
             "batch_speedup_vs_inline": results["batch_vectorized"][
                 "speedup_vs_inline"
+            ],
+            "fleet_requeue_overhead": results["fleet_revoked"][
+                "requeue_overhead_ratio"
             ],
         },
     }

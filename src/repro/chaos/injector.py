@@ -124,6 +124,15 @@ class Injector(FaultPolicy, FaultInjector):
             )
         )
 
+    def should_revoke(self, worker_name: str, task_index: int) -> bool:
+        return bool(
+            self._step(
+                "worker.revoke",
+                worker_name=worker_name,
+                task_index=task_index,
+            )
+        )
+
     def worker_delay(self, worker_name: str, task_index: int) -> float:
         hits = self._step(
             "worker.delay",

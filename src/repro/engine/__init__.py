@@ -45,6 +45,7 @@ from repro.engine.backends import (
     evaluate_stream,
 )
 from repro.engine.core import EngineStats, EvaluationEngine
+from repro.engine.fleet import ElasticBackend, FleetFuture
 from repro.engine.invoke import (
     call_problem,
     call_problem_batch,
@@ -55,9 +56,11 @@ from repro.engine.pool import ProcessFuture, ProcessPoolBackend
 __all__ = [
     "AggregateFuture",
     "ClientBackend",
+    "ElasticBackend",
     "EngineStats",
     "EvaluationEngine",
     "ExecutionBackend",
+    "FleetFuture",
     "InlineBackend",
     "ProcessFuture",
     "ProcessPoolBackend",

@@ -58,6 +58,7 @@ from repro.exceptions import (
     EvaluationError,
     TrainingTimeoutError,
     WorkerFailure,
+    WorkerRevoked,
 )
 from repro.injection import FaultInjector, get_injector
 from repro.obs.metrics import MetricsRegistry, get_registry
@@ -114,7 +115,7 @@ def _pool_worker_main(
         if msg[0] == "segment":
             segments[msg[1]] = pickle.loads(msg[2])
             continue
-        kind, task_id, payload, delay, die, trace = msg
+        kind, task_id, payload, delay, die, trace, attempt = msg
         if delay:
             time.sleep(delay)
         if die:
@@ -205,6 +206,10 @@ def _pool_worker_main(
             }
             if kind == "batch":
                 tags["n"] = n_items
+            if attempt:
+                # re-execution after a revocation: the invariant
+                # checker keys requeued-elsewhere off this tag
+                tags["attempt"] = attempt
             if error is not None:
                 tags["error"] = error
             records.append(
@@ -269,6 +274,13 @@ class ProcessFuture:
             raise self._exception
         return self._result
 
+    def cancel(self) -> None:
+        """Best-effort cancellation: an undispatched task is abandoned
+        (removed from the queue); a dispatched one keeps running but
+        its eventual result is discarded on receipt."""
+        if not self._resolved:
+            self._backend._cancel_task(self.task_id)
+
 
 class _WorkerHandle:
     """Parent-side view of one worker process."""
@@ -283,6 +295,7 @@ class _WorkerHandle:
         "tasks_dispatched",
         "respawns",
         "segments",
+        "pending_revoke",
     )
 
     def __init__(self, index: int) -> None:
@@ -300,6 +313,9 @@ class _WorkerHandle:
         #: segment keys this worker process has already received (a
         #: respawned successor starts empty and gets them re-shipped)
         self.segments: set[str] = set()
+        #: the next death is a spot-style preemption: requeue the task
+        #: and retire the worker instead of failing and respawning
+        self.pending_revoke = False
 
 
 class ProcessPoolBackend:
@@ -341,7 +357,6 @@ class ProcessPoolBackend:
             workers = max(2, os.cpu_count() or 1)
         if workers < 1:
             raise ValueError("need at least one pool worker")
-        self.n_workers = int(workers)
         self.deadline = deadline
         self._ctx = mp.get_context(start_method)
         self._injector = (
@@ -354,12 +369,21 @@ class ProcessPoolBackend:
         self._c_respawns = registry.counter("pool_worker_respawns_total")
         self._c_deadline = registry.counter("pool_deadline_kills_total")
         self._c_cache = registry.counter("pool_cache_hits_total")
-        registry.gauge("pool_workers").set(self.n_workers)
+        self._c_revoked = registry.counter("pool_workers_revoked_total")
+        self._c_requeued = registry.counter("pool_tasks_requeued_total")
+        self._g_workers = registry.gauge("pool_workers")
+        self._g_workers.set(int(workers))
         #: sampled on every submit/dispatch/drain transition
         self._g_queue = registry.gauge("pool_queue_depth")
         self._g_busy = registry.gauge("pool_busy_workers")
-        #: FIFO of (task_id, kind, payload, segment_key)
-        self._queue: list[tuple[int, str, bytes, Optional[str]]] = []
+        #: FIFO of task ids; the spec lives in :attr:`_tasks` so a
+        #: revoked task can be requeued verbatim (same payload, same
+        #: uuids) with only its attempt counter bumped
+        self._queue: list[int] = []
+        #: task_id → [kind, payload, segment_key, attempt]; kept until
+        #: the task's future resolves (or is cancelled), so in-flight
+        #: work survives the worker that held it
+        self._tasks: dict[int, list[Any]] = {}
         #: segment registry: identity of (problem, decoder, class) →
         #: (key, pickled payload).  Strong references on purpose — a
         #: worker holding a segment must never outlive its contents.
@@ -369,11 +393,20 @@ class ProcessPoolBackend:
         self._futures: dict[int, ProcessFuture] = {}
         self._next_task_id = 0
         self._closed = False
-        self._workers = [_WorkerHandle(i) for i in range(self.n_workers)]
+        self._workers = [_WorkerHandle(i) for i in range(int(workers))]
+        #: worker indices are never reused — a revoked worker's name
+        #: must stay dead so requeued-elsewhere is checkable from the
+        #: trace alone
+        self._next_worker_index = int(workers)
         for handle in self._workers:
             self._spawn(handle)
             self._publish_worker(handle, "idle")
         self._sample_gauges()
+
+    @property
+    def n_workers(self) -> int:
+        """Current pool size — dynamic under scaling and revocation."""
+        return len(self._workers)
 
     # ------------------------------------------------------------------
     # live-plane helpers
@@ -433,7 +466,15 @@ class ProcessPoolBackend:
             )
         future = ProcessFuture(self, task_id)
         self._futures[task_id] = future
-        self._queue.append((task_id, "task", payload, None))
+        self._tasks[task_id] = ["task", payload, None, 0]
+        if not self._workers:
+            # every worker was revoked away: fail fast so a fleet can
+            # reroute (standalone → MAXINT via the engine's policy)
+            self._fail_task(
+                task_id, WorkerRevoked("pool", "no surviving worker")
+            )
+            return future
+        self._queue.append(task_id)
         self._dispatch_idle()
         self._sample_gauges()
         return future
@@ -442,7 +483,7 @@ class ProcessPoolBackend:
         """Spread a batch of ``n`` evaluations across the whole pool:
         ``ceil(n / workers)`` per chunk keeps every worker busy while a
         worker crash can only take down one chunk's worth."""
-        return max(1, math.ceil(n / self.n_workers))
+        return max(1, math.ceil(n / max(1, self.n_workers)))
 
     def _segment_for(self, individuals: list[Any]) -> Optional[str]:
         """Register (once) and return the shared-segment key when every
@@ -538,7 +579,13 @@ class ProcessPoolBackend:
             )
         future = ProcessFuture(self, task_id)
         self._futures[task_id] = future
-        self._queue.append((task_id, "batch", payload, segment_key))
+        self._tasks[task_id] = ["batch", payload, segment_key, 0]
+        if not self._workers:
+            self._fail_task(
+                task_id, WorkerRevoked("pool", "no surviving worker")
+            )
+            return future
+        self._queue.append(task_id)
         self._dispatch_idle()
         self._sample_gauges()
         return future
@@ -562,12 +609,40 @@ class ProcessPoolBackend:
         handle.process = process
         handle.conn = parent_conn
         handle.busy_task = None
+        handle.pending_revoke = False
         handle.segments.clear()  # a fresh process holds no segments
 
     def _fail_task(self, task_id: int, exc: BaseException) -> None:
+        self._tasks.pop(task_id, None)
         future = self._futures.pop(task_id, None)
         if future is not None:
+            if getattr(self.tracer, "enabled", False):
+                self.tracer.event(
+                    "task.err",
+                    task=f"pool-task-{task_id}",
+                    error=type(exc).__name__,
+                )
             future._resolve(exception=exc)
+
+    def _cancel_task(self, task_id: int) -> None:
+        """Abandon one task (speculation loser / engine timeout): an
+        undispatched task leaves the queue; a dispatched one runs to
+        completion but its result is discarded on receipt (the future
+        is already gone from :attr:`_futures`)."""
+        future = self._futures.pop(task_id, None)
+        if future is None:
+            return
+        self._tasks.pop(task_id, None)
+        if task_id in self._queue:
+            self._queue.remove(task_id)
+        if getattr(self.tracer, "enabled", False):
+            self.tracer.event(
+                "task.abandoned", task=f"pool-task-{task_id}"
+            )
+        future._resolve(
+            exception=WorkerFailure("pool", "task cancelled")
+        )
+        self._sample_gauges()
 
     def _replace(self, handle: _WorkerHandle) -> None:
         """Bury one worker (dead or killed) and spawn its successor
@@ -590,6 +665,154 @@ class ProcessPoolBackend:
         )
         self._publish_worker(handle, "idle")
 
+    def _bury_revoked(self, handle: _WorkerHandle) -> None:
+        """Spot preemption landed: requeue the in-flight task (same
+        payload, same uuids, attempt+1) and retire the worker — no
+        respawn, capacity shrinks.  When the last worker goes, queued
+        and in-flight work fails with :class:`WorkerRevoked` so a
+        fleet backend can reroute it (standalone pools degrade to the
+        engine's crash→MAXINT policy)."""
+        task_id = handle.busy_task
+        handle.busy_task = None
+        self._c_revoked.inc()
+        self.tracer.event(
+            "pool.worker_revoked",
+            worker=handle.name,
+            task=None if task_id is None else f"pool-task-{task_id}",
+        )
+        self._publish_worker(handle, "revoked", task=task_id)
+        try:
+            handle.conn.close()
+        except Exception:  # noqa: BLE001 - already broken
+            pass
+        handle.process.join(_JOIN_TIMEOUT)
+        self._workers.remove(handle)
+        self._g_workers.set(self.n_workers)
+        if task_id is not None and task_id in self._futures:
+            if self._workers:
+                # requeue to the front: the preempted task is the
+                # oldest work outstanding and must not starve
+                spec = self._tasks[task_id]
+                spec[3] += 1
+                self._c_requeued.inc()
+                self.tracer.event(
+                    "task.requeued",
+                    task=f"pool-task-{task_id}",
+                    from_worker=handle.name,
+                    attempt=spec[3],
+                )
+                self._queue.insert(0, task_id)
+            else:
+                self._fail_task(
+                    task_id,
+                    WorkerRevoked(
+                        handle.name,
+                        "revoked with no surviving pool worker",
+                    ),
+                )
+        if not self._workers:
+            # nothing left to run the backlog either
+            for queued_id in list(self._queue):
+                self._fail_task(
+                    queued_id,
+                    WorkerRevoked(
+                        handle.name,
+                        "revoked with no surviving pool worker",
+                    ),
+                )
+            self._queue.clear()
+
+    def revoke_worker(self, name: Optional[str] = None) -> Optional[str]:
+        """Programmatic spot-style preemption (chaos plans fire the
+        same path via the ``revoke_worker`` fault kind).
+
+        Kills the named worker — by default the first busy one, else
+        the first worker — and processes the revocation immediately:
+        its in-flight task is requeued to a survivor, the worker is
+        retired without replacement.  Returns the revoked worker's
+        name, or ``None`` when the pool is empty.
+        """
+        if self._closed or not self._workers:
+            return None
+        handle = None
+        if name is not None:
+            handle = next(
+                (h for h in self._workers if h.name == name), None
+            )
+        else:
+            handle = next(
+                (h for h in self._workers if h.busy_task is not None),
+                self._workers[0],
+            )
+        if handle is None:
+            return None
+        handle.pending_revoke = True
+        if handle.process.is_alive():
+            handle.process.kill()
+        handle.process.join(_JOIN_TIMEOUT)
+        self._drain()
+        return handle.name
+
+    # ------------------------------------------------------------------
+    # elastic scaling
+    # ------------------------------------------------------------------
+    def scale_to(self, n: int) -> int:
+        """Grow or shrink the pool toward ``n`` workers; returns the
+        resulting size.
+
+        Growth spawns fresh workers under never-reused indices (a
+        revoked worker's name stays dead, keeping requeued-elsewhere
+        checkable from the trace).  Shrinking retires **idle** workers
+        only — a busy worker finishes its task first and a later call
+        retires it — so scaling down never loses work.
+        """
+        if self._closed:
+            raise RuntimeError("ProcessPoolBackend is closed")
+        n = max(0, int(n))
+        while len(self._workers) < n:
+            handle = _WorkerHandle(self._next_worker_index)
+            self._next_worker_index += 1
+            self._spawn(handle)
+            self._workers.append(handle)
+            self.tracer.event("pool.scale_up", worker=handle.name)
+            self._publish_worker(handle, "idle")
+        if len(self._workers) > n:
+            for handle in reversed(list(self._workers)):
+                if len(self._workers) <= n:
+                    break
+                if handle.busy_task is not None:
+                    continue
+                self._retire(handle)
+        self._g_workers.set(self.n_workers)
+        self._dispatch_idle()
+        self._sample_gauges()
+        return self.n_workers
+
+    def _retire(self, handle: _WorkerHandle) -> None:
+        """Stop one idle worker gracefully (scale-down path)."""
+        try:
+            handle.conn.send(("stop",))
+        except (BrokenPipeError, OSError):
+            pass
+        handle.process.join(_JOIN_TIMEOUT)
+        if handle.process.is_alive():  # pragma: no cover - stuck worker
+            handle.process.kill()
+            handle.process.join(_JOIN_TIMEOUT)
+        try:
+            handle.conn.close()
+        except Exception:  # noqa: BLE001 - already broken
+            pass
+        self._workers.remove(handle)
+        self.tracer.event("pool.scale_down", worker=handle.name)
+        self._publish_worker(handle, "retired")
+
+    def queue_depth(self) -> int:
+        """Undispatched tasks (the autoscaler's pressure signal)."""
+        return len(self._queue)
+
+    def idle_workers(self) -> int:
+        return sum(1 for h in self._workers if h.busy_task is None)
+
     def _dispatch_idle(self) -> None:
         """Hand queued tasks to idle workers, lowest index first (the
         deterministic order scripted chaos plans rely on)."""
@@ -598,14 +821,19 @@ class ProcessPoolBackend:
                 return
             if handle.busy_task is not None:
                 continue
-            task_id, kind, payload, segment_key = self._queue.pop(0)
+            task_id = self._queue.pop(0)
+            kind, payload, segment_key, attempt = self._tasks[task_id]
             delay = 0.0
             die = False
+            revoke = False
             if self._injector is not None:
                 delay = self._injector.worker_delay(
                     handle.name, handle.tasks_dispatched
                 )
                 die = self._injector.should_fail(
+                    handle.name, handle.tasks_dispatched
+                )
+                revoke = self._injector.should_revoke(
                     handle.name, handle.tasks_dispatched
                 )
             trace = bool(getattr(self.tracer, "enabled", False))
@@ -619,7 +847,7 @@ class ProcessPoolBackend:
                         task=task_key,
                         seconds=delay,
                     )
-                if die:
+                if die and not revoke:
                     # chaos firing: this dispatch will kill the worker
                     self.tracer.event(
                         "worker.fault",
@@ -628,6 +856,12 @@ class ProcessPoolBackend:
                     )
             handle.tasks_dispatched += 1
             self._c_dispatched.inc()
+            if revoke:
+                # spot preemption: the worker dies mid-task like a
+                # plain death, but _drain requeues the task and retires
+                # the worker instead of failing and respawning
+                handle.pending_revoke = True
+                die = True
             try:
                 if (
                     segment_key is not None
@@ -645,7 +879,7 @@ class ProcessPoolBackend:
                     )
                     handle.segments.add(segment_key)
                 handle.conn.send(
-                    (kind, task_id, payload, delay, die, trace)
+                    (kind, task_id, payload, delay, die, trace, attempt)
                 )
             except (BrokenPipeError, OSError):
                 # worker already gone: fail this task, replace, retry
@@ -665,7 +899,7 @@ class ProcessPoolBackend:
         and refill idle workers.  Called from the engine's poll loop via
         ``future.done()`` — always on the driver thread."""
         now = time.monotonic()
-        for handle in self._workers:
+        for handle in list(self._workers):
             # 1. everything the worker managed to send
             while True:
                 try:
@@ -685,8 +919,18 @@ class ProcessPoolBackend:
                 if handle.busy_task == task_id:
                     handle.busy_task = None
                     self._publish_worker(handle, "idle")
-                if future is None:  # task already failed (e.g. deadline)
+                if future is None:
+                    # task already failed (deadline) or was cancelled
+                    # (speculation loser): discard the late result —
+                    # its fate was sealed, and its terminal trace event
+                    # already emitted, when the future resolved
                     continue
+                self._tasks.pop(task_id, None)
+                if getattr(self.tracer, "enabled", False):
+                    self.tracer.event(
+                        "task.done" if kind != "raised" else "task.err",
+                        task=f"pool-task-{task_id}",
+                    )
                 if kind == "done":
                     future._resolve(RemoteEvaluation(msg[2], msg[3]))
                 elif kind == "batchdone":
@@ -696,8 +940,12 @@ class ProcessPoolBackend:
                 else:  # "raised": re-raise the worker-side exception
                     future._resolve(exception=msg[2])
             # 2. death: a busy worker that is gone takes its task down
-            #    (→ WorkerFailure → MAXINT in the engine)
+            #    (→ WorkerFailure → MAXINT in the engine) — unless this
+            #    was a revocation, which requeues instead
             if not handle.process.is_alive():
+                if handle.pending_revoke and not self._closed:
+                    self._bury_revoked(handle)
+                    continue
                 if handle.busy_task is not None:
                     exitcode = handle.process.exitcode
                     self.tracer.event(
@@ -759,7 +1007,7 @@ class ProcessPoolBackend:
         if self._closed:
             return
         self._closed = True
-        for task_id, *_ in self._queue:
+        for task_id in list(self._queue):
             self._fail_task(
                 task_id, WorkerFailure("pool", "closed before dispatch")
             )

@@ -66,6 +66,16 @@ class WorkerFailure(ReproError):
         self.worker = worker
 
 
+class WorkerRevoked(WorkerFailure):
+    """A worker was preempted (spot-style revocation) mid-task.
+
+    Subclasses :class:`WorkerFailure` so a standalone pool backend
+    degrades to the same crash→``MAXINT`` policy; the elastic fleet
+    backend catches it first and requeues the task to a surviving
+    member instead.
+    """
+
+
 class SchedulerError(ReproError):
     """The distributed scheduler cannot make progress."""
 

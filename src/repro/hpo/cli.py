@@ -11,6 +11,55 @@ import sys
 from typing import Any
 
 
+class _KillAfterJournaledEvaluations:
+    """Test/CI harness for out-of-process backends: hard-kill the
+    *campaign* process after N journaled evaluations.
+
+    Under ``--backend pool``/``fleet`` the problem's ``evaluate`` runs
+    inside a worker, so the problem-wrapping
+    :class:`_KillAfterEvaluations` would kill a worker instead of the
+    campaign.  Every completed evaluation is journaled by the engine in
+    the campaign process, so wrapping the journal gives the same
+    semantics (the Nth result is durably persisted, then SIGKILL)
+    wherever the evaluation executed.
+    """
+
+    def __init__(self, journal: Any, limit: int) -> None:
+        self.journal = journal
+        self.limit = int(limit)
+        self._done = 0
+
+    def __getattr__(self, name: str) -> Any:
+        try:
+            inner = self.__dict__["journal"]
+        except KeyError:
+            raise AttributeError(name) from None
+        return getattr(inner, name)
+
+    def _count(self, n: int) -> None:
+        self._done += n
+        if self._done >= self.limit:
+            import os
+
+            sys.stderr.write(
+                f"kill-after-evals: {self._done} evaluations "
+                "journaled, exiting 137\n"
+            )
+            sys.stderr.flush()
+            os._exit(137)
+
+    def append_evaluation(self, individual: Any) -> None:
+        self.journal.append_evaluation(individual)
+        self._count(1)
+
+    def append_generation(self, record: Any, **kwargs: Any) -> None:
+        # campaign journals are per-generation write-ahead records;
+        # count the evaluations each commit carries so the kill lands
+        # right after the Nth evaluation became durable
+        self.journal.append_generation(record, **kwargs)
+        self._count(len(getattr(record, "evaluated", None) or ()))
+
+
 class _KillAfterEvaluations:
     """Test/CI harness: hard-kill the process after N evaluations.
 
@@ -129,21 +178,36 @@ def _chaos_injector(args: argparse.Namespace):
     journal so a failing run can be replayed exactly.
     """
     seed = getattr(args, "chaos_seed", None)
-    if seed is None:
+    revoke = getattr(args, "chaos_revoke", None)
+    if seed is None and not revoke:
         return None
-    from repro.chaos import STORE_KINDS, FaultPlan
+    from repro.chaos import STORE_KINDS, Fault, FaultPlan
 
-    plan = FaultPlan.random(
-        seed,
-        kinds=STORE_KINDS,
-        n_faults=4,
-        horizon={"cache_corrupt": 24, "journal_truncate": 12},
-    )
+    faults = []
+    if seed is not None:
+        faults = list(
+            FaultPlan.random(
+                seed,
+                kinds=STORE_KINDS,
+                n_faults=4,
+                horizon={"cache_corrupt": 24, "journal_truncate": 12},
+            )
+        )
+    if revoke:
+        # preemption storm: revoke a worker at these task-pickup
+        # ordinals (fleet backends requeue; a bare pool fails → MAXINT)
+        faults += [
+            Fault("revoke_worker", at=int(at))
+            for at in str(revoke).split(",")
+            if at.strip()
+        ]
+    plan = FaultPlan(faults, seed=seed)
     save = getattr(args, "save", None) or getattr(args, "directory", None)
     if save:
         from pathlib import Path
 
-        plan.save(Path(save) / f"chaos_plan_{seed}.json")
+        tag = seed if seed is not None else "revoke"
+        plan.save(Path(save) / f"chaos_plan_{tag}.json")
     return plan.injector()
 
 
@@ -228,6 +292,33 @@ def _execution_backend(stack, args: argparse.Namespace, backend: str):
             ProcessPoolBackend(
                 workers=workers,
                 deadline=getattr(args, "pool_deadline", None),
+            )
+        )
+    if backend == "fleet":
+        from repro.engine import (
+            ElasticBackend,
+            InlineBackend,
+            ProcessPoolBackend,
+        )
+
+        min_workers = getattr(args, "min_workers", None) or workers
+        max_workers = getattr(args, "max_workers", None) or max(
+            min_workers, workers
+        )
+        pool = ProcessPoolBackend(
+            workers=min_workers,
+            deadline=getattr(args, "pool_deadline", None),
+        )
+        # the inline reserve rescues work when every pool worker has
+        # been revoked and hosts speculative re-executions
+        return stack.enter_context(
+            ElasticBackend(
+                [pool, InlineBackend()],
+                min_workers=min_workers,
+                max_workers=max_workers,
+                slots_cap=getattr(args, "slots", None),
+                speculate=bool(getattr(args, "speculate", False)),
+                owns_members=True,
             )
         )
     from repro.distributed import LocalCluster
@@ -424,7 +515,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             from repro.store import CachedProblem
 
             factory = lambda seed: CachedProblem(base_factory(seed), cache)  # noqa: E731
-        if args.kill_after_evals:
+        if args.kill_after_evals and exec_backend == "inline":
             inner_factory = factory
             factory = lambda seed: _KillAfterEvaluations(  # noqa: E731
                 inner_factory(seed), args.kill_after_evals
@@ -436,6 +527,13 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             journal = CampaignJournal(
                 journal_path(args.save), problem_spec=problem_spec
             )
+            if args.kill_after_evals and exec_backend != "inline":
+                # out-of-process backends: evaluate() runs in workers,
+                # so kill on the Nth *journaled* evaluation instead —
+                # that hook runs in the campaign process
+                journal = _KillAfterJournaledEvaluations(
+                    journal, args.kill_after_evals
+                )
         try:
             campaign = Campaign(
                 factory,
@@ -587,6 +685,9 @@ def _render_dashboard(snapshot: dict) -> str:
         if engine.get("evals_per_sec"):
             line += f"  evals/sec {engine.get('evals_per_sec', 0.0):g}"
         lines.append(line)
+    fleet = snapshot.get("fleet") or {}
+    if fleet:
+        lines.append(_format_fleet_line(fleet))
     workers = snapshot.get("workers") or {}
     if workers:
         rows = [
@@ -719,7 +820,34 @@ def _render_service_dashboard(snapshot: dict) -> str:
             f"misses {cache.get('misses', 0)}  "
             f"inserts {cache.get('inserts', 0)}"
         )
+    fleet = service.get("fleet") or {}
+    if fleet:
+        lines.append("")
+        lines.append(_format_fleet_line(fleet))
     return "\n".join(lines)
+
+
+def _format_fleet_line(fleet: dict) -> str:
+    """One-line elastic fleet summary shared by both monitor views."""
+    bounds = (
+        f"{fleet.get('min_workers') or '?'}"
+        f"-{fleet.get('max_workers') or '?'}"
+    )
+    line = (
+        "fleet: "
+        f"workers {fleet.get('workers', '?')} ({bounds})  "
+        f"in-flight {fleet.get('in_flight', 0)}  "
+        f"queued {fleet.get('queue_depth', 0)}  "
+        f"requeued {fleet.get('requeued', 0)}  "
+        f"scale +{fleet.get('scale_ups', 0)}/-{fleet.get('scale_downs', 0)}"
+    )
+    if fleet.get("speculate"):
+        line += (
+            f"  spec {fleet.get('speculations', 0)}"
+            f" (wins {fleet.get('speculative_wins', 0)},"
+            f" dup {fleet.get('duplicates_discarded', 0)})"
+        )
+    return line
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -962,7 +1090,7 @@ def _cmd_nas(args: argparse.Namespace) -> int:
 def _add_backend_flags(
     parser: argparse.ArgumentParser, legacy_problem_values: bool = False
 ) -> None:
-    choices = ["inline", "client", "pool"]
+    choices = ["inline", "client", "pool", "fleet"]
     if legacy_problem_values:
         # pre-existing scripts pass the problem here; _resolve_backend_args
         # routes these to --problem with a note
@@ -973,8 +1101,10 @@ def _add_backend_flags(
         default=None,
         help=(
             "execution backend: inline (in-process, default), pool "
-            "(multiprocessing worker pool), or client (simulated "
-            "thread cluster)"
+            "(multiprocessing worker pool), client (simulated thread "
+            "cluster), or fleet (elastic pool + inline reserve with "
+            "preemption survival; see --min-workers/--max-workers/"
+            "--speculate)"
         ),
     )
     parser.add_argument(
@@ -994,6 +1124,33 @@ def _add_backend_flags(
         help=(
             "pool backend: hard per-evaluation deadline; overruns are "
             "killed (SIGKILL) and scored MAXINT"
+        ),
+    )
+    parser.add_argument(
+        "--min-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "fleet backend: autoscale floor (default: --pool-workers)"
+        ),
+    )
+    parser.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "fleet backend: autoscale ceiling (default: --pool-workers)"
+        ),
+    )
+    parser.add_argument(
+        "--speculate",
+        action="store_true",
+        help=(
+            "fleet backend: re-execute straggling evaluations on a "
+            "second member; first result wins, the duplicate is "
+            "discarded"
         ),
     )
 
@@ -1150,9 +1307,10 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help=(
             "testing: hard-exit (137) after N finished evaluations, "
-            "simulating a mid-generation crash (inline backend only — "
-            "under --backend pool the exit would kill a worker, not "
-            "the campaign)"
+            "simulating a mid-generation crash; under --backend "
+            "pool/client/fleet the kill fires on the Nth *journaled* "
+            "evaluation instead (requires --save), since evaluate() "
+            "runs in workers there"
         ),
     )
     p.add_argument(
@@ -1164,6 +1322,16 @@ def main(argv: list[str] | None = None) -> int:
             "testing: inject a seed-deterministic plan of store-layer "
             "faults (cache corruption, journal torn writes) and print "
             "an invariant report afterwards"
+        ),
+    )
+    p.add_argument(
+        "--chaos-revoke",
+        default=None,
+        metavar="AT[,AT...]",
+        help=(
+            "testing: revoke (spot-preempt) a worker at these "
+            "task-pickup ordinals; --backend fleet requeues the "
+            "in-flight work, --backend pool scores it MAXINT"
         ),
     )
     p.set_defaults(func=_cmd_campaign)
@@ -1200,6 +1368,15 @@ def main(argv: list[str] | None = None) -> int:
         help=(
             "testing: inject store-layer faults during the resume "
             "itself and print an invariant report afterwards"
+        ),
+    )
+    p_resume.add_argument(
+        "--chaos-revoke",
+        default=None,
+        metavar="AT[,AT...]",
+        help=(
+            "testing: revoke a worker at these task-pickup ordinals "
+            "during the resume"
         ),
     )
     p_resume.set_defaults(func=_cmd_resume)

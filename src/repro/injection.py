@@ -55,6 +55,12 @@ class FaultInjector:
         """Seconds a slow worker sleeps before executing a task."""
         return 0.0
 
+    def should_revoke(self, worker_name: str, task_index: int) -> bool:
+        """Spot-style preemption: the worker is revoked mid-task and
+        **not** replaced (capacity shrinks); its in-flight task is
+        requeued to a survivor instead of failing."""
+        return False
+
     def submit_delay(self, key: str) -> float:
         """Seconds the scheduler stalls one task submission."""
         return 0.0

@@ -86,6 +86,9 @@ class NullCampaignStatus:
     def worker_update(self, name: str, **fields: Any) -> None:
         return None
 
+    def fleet_update(self, **fields: Any) -> None:
+        return None
+
     def mark_done(self) -> None:
         return None
 
@@ -124,6 +127,7 @@ class CampaignStatus:
         }
         self._engine: dict[str, Any] = {}
         self._workers: dict[str, dict[str, Any]] = {}
+        self._fleet: dict[str, Any] = {}
         self._hypervolume: list[dict[str, Any]] = []
         self._front: list[list[float]] = []
 
@@ -194,6 +198,13 @@ class CampaignStatus:
             entry.update(fields)
             entry["updated_ts"] = time.time()
 
+    def fleet_update(self, **fields: Any) -> None:
+        """Latest :meth:`~repro.engine.fleet.ElasticBackend.
+        fleet_snapshot` view — member sizes, requeues, speculation."""
+        with self._lock:
+            self._fleet.update(fields)
+            self._fleet["updated_ts"] = time.time()
+
     def mark_done(self) -> None:
         with self._lock:
             self._data["state"] = "done"
@@ -208,6 +219,7 @@ class CampaignStatus:
             data = dict(self._data)
             engine = dict(self._engine)
             workers = {k: dict(v) for k, v in self._workers.items()}
+            fleet = dict(self._fleet)
             hypervolume = list(self._hypervolume)
             front = [list(p) for p in self._front]
         elapsed = max(time.monotonic() - self._started_mono, 1e-9)
@@ -226,6 +238,8 @@ class CampaignStatus:
             data["dedup_rate"] = 0.0
         data["engine"] = engine
         data["workers"] = workers
+        if fleet:
+            data["fleet"] = fleet
         data["hypervolume_series"] = hypervolume
         data["front"] = front
         return _json_safe(data)

@@ -354,7 +354,16 @@ class FairShareScheduler:
     def _pick(self) -> Optional[tuple[CampaignQueue, _TenantAccount]]:
         """The fair-share choice, under the lock; None when nothing is
         eligible (empty queues, quotas saturated, or fleet full)."""
-        if len(self._inflight) >= self.total_slots:
+        # an elastic backend's capacity moves while campaigns run
+        # (autoscale, revocation); re-probe it so the slot ceiling
+        # tracks the live fleet instead of the size at construction
+        cap = getattr(self.backend, "capacity", None)
+        limit = (
+            self.total_slots
+            if not callable(cap)
+            else min(self.total_slots, max(1, int(cap())))
+        )
+        if len(self._inflight) >= limit:
             return None
         eligible = [
             account

@@ -249,18 +249,22 @@ class CampaignService:
                     doc["hypervolume"] = series[-1].get("hypervolume")
                 doc["front_size"] = len(live.get("front") or [])
             campaigns.append(doc)
+        service: dict[str, Any] = {
+            "campaigns": campaigns,
+            "scheduler": self.scheduler.snapshot(),
+            # stats are this process's view; "entries" counts the
+            # disk store, which pool workers insert into directly
+            "cache": {**self.cache.stats(), "entries": len(self.cache)},
+            "max_active": self.max_active,
+        }
+        fleet = getattr(self.scheduler.backend, "fleet_snapshot", None)
+        if callable(fleet):
+            service["fleet"] = fleet()
         return {
             "state": (
                 "shutting-down" if self._shutdown.is_set() else "serving"
             ),
-            "service": {
-                "campaigns": campaigns,
-                "scheduler": self.scheduler.snapshot(),
-                # stats are this process's view; "entries" counts the
-                # disk store, which pool workers insert into directly
-                "cache": {**self.cache.stats(), "entries": len(self.cache)},
-                "max_active": self.max_active,
-            },
+            "service": service,
         }
 
     # ------------------------------------------------------------------

@@ -6,10 +6,29 @@ so the integration-heavy test files reuse one instance.
 
 from __future__ import annotations
 
+import multiprocessing
+
 import numpy as np
 import pytest
 
 from repro.md.dataset import FrameDataset, generate_dataset
+
+
+@pytest.fixture(autouse=True)
+def _reap_pool_workers():
+    """Kill pool worker processes a test leaked.
+
+    A test that lets a ``ProcessPoolBackend`` fall out of scope without
+    ``close()`` (or dies mid-assertion) leaves live ``repro-pool-*``
+    children behind; they hold the test session open at exit and skew
+    any later test that counts live processes.  Reap them in teardown
+    so every test starts from a quiet process table.
+    """
+    yield
+    for child in multiprocessing.active_children():
+        if (child.name or "").startswith("repro-pool-"):
+            child.kill()
+            child.join(timeout=5)
 
 
 @pytest.fixture(scope="session")
