@@ -38,6 +38,7 @@ BENCHES = {
     "engine": "BENCH_engine.json",
     "nsga2": "BENCH_nsga2.json",
     "obs": "BENCH_obs.json",
+    "mo": "BENCH_mo.json",
 }
 
 
@@ -46,6 +47,8 @@ def _run_bench(name: str, quick: bool) -> dict:
         from benchmarks.bench_engine_throughput import run
     elif name == "obs":
         from benchmarks.bench_obs_overhead import run
+    elif name == "mo":
+        from benchmarks.bench_mo_metrics import run
     else:
         from benchmarks.bench_nsga2_kernels import run
     return run(quick=quick)

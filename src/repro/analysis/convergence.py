@@ -56,11 +56,16 @@ class ConvergenceSummary:
 
 def hypervolume_progress(
     result: CampaignResult,
-    reference: tuple[float, float] = (0.02, 0.2),
+    reference: Sequence[float] = (0.02, 0.2),
 ) -> np.ndarray:
     """Dominated hypervolume of the pooled selected population per
     generation — a single monotone-ish convergence curve for the whole
     campaign (complements the per-objective medians).
+
+    N-D safe: when the campaign's fronts have more objectives than the
+    given ``reference`` (e.g. a ``--objectives loss,time`` campaign),
+    the campaign-fixed :func:`repro.mo.metrics.default_reference` for
+    the observed dimensionality is used instead.
 
     Every entry is finite: degenerate generations (no viable
     individuals, all-MAXINT fitnesses, non-finite losses) contribute
@@ -69,7 +74,7 @@ def hypervolume_progress(
     math and must never emit a non-finite value.
     """
     from repro.mo.dominance import non_dominated_mask
-    from repro.mo.metrics import hypervolume_2d
+    from repro.mo.metrics import default_reference, hypervolume
 
     n_gens = max(len(run) for run in result.runs)
     out = np.zeros(n_gens)
@@ -89,7 +94,12 @@ def hypervolume_progress(
         F = F[np.all(np.isfinite(F), axis=1)]
         if not len(F):
             continue
-        hv = hypervolume_2d(F[non_dominated_mask(F)], reference)
+        ref = (
+            tuple(float(r) for r in reference)
+            if len(tuple(reference)) == F.shape[1]
+            else default_reference(F.shape[1])
+        )
+        hv = hypervolume(F[non_dominated_mask(F)], ref)
         out[g] = hv if np.isfinite(hv) else 0.0
     return out
 

@@ -155,6 +155,7 @@ def generational_nsga2(
     batch: bool = False,
     pipeline: bool = False,
     batch_chunk: Optional[int] = None,
+    stopper: Any = None,
 ) -> list[GenerationRecord]:
     """Run one NSGA-II deployment; returns one record per generation.
 
@@ -196,6 +197,12 @@ def generational_nsga2(
     fronts, and journaled RNG states are unchanged (states are
     captured eagerly, before the next generation's draws); only the
     wall-clock instant the callback fires moves.
+
+    ``stopper`` (a :class:`repro.mo.stopping.HypervolumeStopper`,
+    duck-typed: ``observe(record) -> bool``) is consulted after every
+    generation; True halts the run early.  Stopping only truncates the
+    deterministic generation sequence, so a stopped run's records are
+    bit-identical to the same-length prefix of the unstopped run.
     """
     if pipeline:
         batch = True
@@ -269,6 +276,10 @@ def generational_nsga2(
             pending = (record0, _capture_rng_state(gen_rng))
         else:
             _commit(record0, _capture_rng_state(gen_rng))
+        if stopper is not None and stopper.observe(record0):
+            if pending is not None:
+                _commit(*pending)
+            return records
         start_generation = 1
     for generation in range(start_generation, generations + 1):
         with trc.span("ea.generation", generation=generation) as span:
@@ -319,6 +330,8 @@ def generational_nsga2(
             pending = (record, _capture_rng_state(gen_rng))
         else:
             _commit(record, _capture_rng_state(gen_rng))
+        if stopper is not None and stopper.observe(record):
+            break
     if pending is not None:
         _commit(*pending)
     return records

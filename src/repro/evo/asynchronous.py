@@ -77,6 +77,7 @@ def steady_state_nsga2(
     journal: Any = None,
     tracer: Any = None,
     callback: Optional[Callable[[Individual, int], None]] = None,
+    stopper: Any = None,
 ) -> SteadyStateRecord:
     """Barrier-free NSGA-II: breed-on-completion.
 
@@ -94,6 +95,12 @@ def steady_state_nsga2(
     :class:`repro.store.journal.CampaignJournal`) receives every
     completed evaluation; ``callback(individual, completions)`` fires
     on each completion.
+
+    ``stopper`` (duck-typed ``observe_front(window, population) ->
+    bool``, e.g. a :class:`repro.mo.stopping.HypervolumeStopper`) is
+    consulted at every annealing-window boundary — the steady-state
+    generational analogue; True stops breeding new candidates and the
+    run drains what is already in flight.
     """
     gen_rng = ensure_rng(rng)
     if max_evaluations < pop_size:
@@ -151,6 +158,7 @@ def steady_state_nsga2(
         submitted = pop_size
         population: list[Individual] = []
         completions = 0
+        halted = False
         while eng.has_pending():
             for evaluated in eng.wait_any():
                 record.evaluated.append(evaluated)
@@ -160,12 +168,20 @@ def steady_state_nsga2(
                     population = nsga2_select(population, pop_size)
                 if completions % anneal_every == 0:
                     schedule.step()
+                    window = completions // anneal_every - 1
                     telemetry.observe_generation(
-                        completions // anneal_every - 1,
+                        window,
                         population,
                         completions=completions,
                     )
-                if submitted < max_evaluations:
+                    if (
+                        stopper is not None
+                        and not halted
+                        and stopper.observe_front(window, population)
+                    ):
+                        # stop breeding; in-flight work still drains
+                        halted = True
+                if submitted < max_evaluations and not halted:
                     eng.submit(breed(population))
                     submitted += 1
                 if callback is not None:

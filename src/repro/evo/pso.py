@@ -1,0 +1,298 @@
+"""Multi-objective particle-swarm optimization on the evaluation engine.
+
+Natarajan & Caro tune GAP interatomic potentials with PSO instead of an
+EA; this driver brings that scheme to the same seven-gene DeePMD space
+behind the *unchanged* engine contract: every particle evaluation flows
+through :class:`repro.engine.EvaluationEngine` (dedup → cache probe →
+execute → MAXINT failure policy → journal), each iteration is rendered
+as a :class:`~repro.evo.algorithm.GenerationRecord`, and the journal
+carries enough swarm state (velocities + personal bests, via the
+generation record's ``driver_state``) for a killed run to resume
+bit-identically.
+
+The multi-objective scheme is the standard MOPSO shape:
+
+* a bounded external **archive** of nondominated viable solutions
+  supplies social leaders, selected per particle by binary tournament
+  on crowding distance (computed by the same NSGA-II kernels the other
+  drivers use);
+* each particle keeps a **personal best**, replaced when the new
+  position dominates it (mutual nondominance flips a seeded coin);
+* velocities follow the canonical update
+  ``v ← w·v + c1·r1·(pbest − x) + c2·r2·(leader − x)``, clamped per
+  gene to a fraction of the hard-bound width, positions clipped to the
+  hard bounds.
+
+Every stochastic draw goes through the single run RNG in a fixed
+order, so the whole trajectory is a pure function of (seed, problem) —
+the property kill/resume bit-identity rests on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Type
+
+import numpy as np
+
+from repro.engine import EvaluationEngine
+from repro.evo.algorithm import (
+    GenerationRecord,
+    _capture_rng_state,
+    _count_failures,
+    _make_individual,
+)
+from repro.evo.decoder import Decoder
+from repro.evo.individual import Individual, RobustIndividual
+from repro.evo.nsga2 import nsga2_select
+from repro.evo.problem import Problem
+from repro.mo.dominance import dominates, non_dominated_mask
+from repro.obs.live import ConvergenceTelemetry
+from repro.obs.trace import get_tracer
+from repro.rng import RngLike, ensure_rng
+
+
+@dataclass
+class PSOResumeState:
+    """Mid-run swarm state reconstructed from a campaign journal.
+
+    ``positions``/``velocities``/``pbest`` are the swarm after the last
+    committed iteration; ``population`` the committed selection pool
+    the next record's elitist view chains from; ``archive`` the leader
+    archive rebuilt by :func:`rebuild_archive`; ``rng`` the run RNG
+    restored to its post-iteration state.
+    """
+
+    positions: np.ndarray
+    velocities: np.ndarray
+    pbest: list[Individual]
+    population: list[Individual]
+    archive: list[Individual]
+    generation: int
+    rng: np.random.Generator
+
+
+def _viable(individuals: list[Individual]) -> list[Individual]:
+    return [ind for ind in individuals if ind.is_viable]
+
+
+def _update_archive(
+    archive: list[Individual],
+    newcomers: list[Individual],
+    capacity: int,
+) -> list[Individual]:
+    """Fold newly evaluated viable individuals into the leader archive:
+    keep the nondominated subset of the combined pool, crowd-truncated
+    to ``capacity`` (which also refreshes rank/distance attributes used
+    by tournament leader selection)."""
+    pool = archive + _viable(newcomers)
+    if not pool:
+        return []
+    F = np.asarray([ind.fitness for ind in pool])
+    pool = [ind for ind, keep in zip(pool, non_dominated_mask(F)) if keep]
+    return nsga2_select(pool, min(capacity, len(pool)))
+
+
+def rebuild_archive(
+    records: list[GenerationRecord], capacity: int
+) -> list[Individual]:
+    """Replay the archive evolution over restored generation records —
+    the same fold the live run performs, so the resumed archive matches
+    the uninterrupted one member-for-member (order included)."""
+    archive: list[Individual] = []
+    for record in records:
+        archive = _update_archive(archive, record.evaluated, capacity)
+    return archive
+
+
+def _swarm_driver_state(
+    velocities: np.ndarray, pbest: list[Individual]
+) -> dict[str, Any]:
+    from repro.store.journal import _group_doc
+
+    return {
+        "velocities": [[float(v) for v in row] for row in velocities],
+        "pbest": _group_doc(pbest),
+    }
+
+
+def multi_objective_pso(
+    problem: Problem,
+    init_ranges: np.ndarray,
+    initial_std: np.ndarray,
+    pop_size: int,
+    iterations: int,
+    hard_bounds: Optional[np.ndarray] = None,
+    decoder: Optional[Decoder] = None,
+    individual_cls: Type[Individual] = RobustIndividual,
+    client: Any = None,
+    inertia: float = 0.6,
+    cognitive: float = 1.6,
+    social: float = 1.6,
+    velocity_clamp: float = 0.2,
+    archive_capacity: Optional[int] = None,
+    rng: RngLike = None,
+    callback: Optional[Callable[[GenerationRecord], None]] = None,
+    tracer: Any = None,
+    dedup: bool = False,
+    journal: Any = None,
+    resume_from: Optional[PSOResumeState] = None,
+    engine: Optional[EvaluationEngine] = None,
+    batch_chunk: Optional[int] = None,
+    stopper: Any = None,
+) -> list[GenerationRecord]:
+    """Run one MOPSO deployment; returns one record per iteration.
+
+    ``iterations`` counts swarm moves after the random initialization
+    (mirroring the generational driver's accounting), so the returned
+    list has ``iterations + 1`` records and the evaluation budget is
+    ``pop_size * (iterations + 1)`` — identical to the NSGA-II
+    campaign's.  Each record's ``population`` is the crowd-truncated
+    elitist pool of everything seen so far (so the §3 analysis stack
+    reads PSO campaigns unchanged); ``evaluated`` is the swarm at that
+    iteration; ``std`` reports the per-gene mean absolute velocity —
+    the swarm's mobility, the closest analogue of the EA's annealed
+    deviations.
+
+    ``journal`` receives each record with the post-iteration RNG state
+    *and* a ``driver_state`` doc (velocities, personal bests) so
+    :func:`repro.store.resume.resume_campaign` can rebuild the swarm;
+    ``stopper`` (a :class:`repro.mo.stopping.HypervolumeStopper`) is
+    checked after every committed record.
+    """
+    trc = tracer if tracer is not None else get_tracer()
+    telemetry = ConvergenceTelemetry()
+    eng = (
+        engine
+        if engine is not None
+        else EvaluationEngine(
+            client=client, dedup=dedup, dedup_scope="batch", tracer=trc
+        )
+    )
+    ranges = np.asarray(init_ranges, dtype=np.float64)
+    bounds = (
+        ranges if hard_bounds is None else np.asarray(hard_bounds, dtype=np.float64)
+    )
+    n_genes = ranges.shape[0]
+    vmax = velocity_clamp * (bounds[:, 1] - bounds[:, 0])
+    capacity = (
+        int(archive_capacity) if archive_capacity else 2 * int(pop_size)
+    )
+
+    def make_swarm(positions: np.ndarray) -> list[Individual]:
+        return [
+            _make_individual(genome, decoder, problem, individual_cls)
+            for genome in positions
+        ]
+
+    def commit(record: GenerationRecord, rng_state: Any, velocities, pbest) -> None:
+        if journal is not None:
+            journal.append_generation(
+                record,
+                rng_state=rng_state,
+                driver_state=_swarm_driver_state(velocities, pbest),
+            )
+        records.append(record)
+        telemetry.observe_generation(
+            record.generation,
+            record.population,
+            evaluated=len(record.evaluated),
+            failures=record.n_failures,
+        )
+        if callback is not None:
+            callback(record)
+
+    records: list[GenerationRecord] = []
+    if resume_from is not None:
+        gen_rng = resume_from.rng
+        positions = np.asarray(resume_from.positions, dtype=np.float64).copy()
+        velocities = np.asarray(
+            resume_from.velocities, dtype=np.float64
+        ).copy()
+        pbest = list(resume_from.pbest)
+        population = list(resume_from.population)
+        archive = list(resume_from.archive)
+        start_iteration = resume_from.generation + 1
+    else:
+        gen_rng = ensure_rng(rng)
+        with trc.span("pso.iteration", generation=0) as span:
+            positions = gen_rng.uniform(
+                ranges[:, 0], ranges[:, 1], size=(pop_size, n_genes)
+            )
+            velocities = np.zeros((pop_size, n_genes))
+            swarm = eng.evaluate_batch(
+                make_swarm(positions), chunk_size=batch_chunk
+            )
+            pbest = list(swarm)
+            archive = _update_archive([], swarm, capacity)
+            population = nsga2_select(list(swarm), pop_size)
+            record0 = GenerationRecord(
+                generation=0,
+                population=list(population),
+                evaluated=list(swarm),
+                std=np.abs(velocities).mean(axis=0),
+                n_failures=_count_failures(swarm),
+            )
+            span.tag(evaluated=len(swarm), failures=record0.n_failures)
+        commit(record0, _capture_rng_state(gen_rng), velocities, pbest)
+        if stopper is not None and stopper.observe(record0):
+            return records
+        start_iteration = 1
+    for iteration in range(start_iteration, iterations + 1):
+        with trc.span("pso.iteration", generation=iteration) as span:
+            for i in range(pop_size):
+                if archive:
+                    if len(archive) == 1:
+                        leader = archive[0]
+                    else:
+                        a, b = gen_rng.integers(len(archive), size=2)
+                        la, lb = archive[int(a)], archive[int(b)]
+                        da = la.distance if la.distance is not None else 0.0
+                        db = lb.distance if lb.distance is not None else 0.0
+                        leader = la if da >= db else lb
+                else:
+                    leader = pbest[i]
+                r1 = gen_rng.uniform(size=n_genes)
+                r2 = gen_rng.uniform(size=n_genes)
+                velocities[i] = (
+                    inertia * velocities[i]
+                    + cognitive * r1 * (pbest[i].genome - positions[i])
+                    + social * r2 * (leader.genome - positions[i])
+                )
+                velocities[i] = np.clip(velocities[i], -vmax, vmax)
+                positions[i] = np.clip(
+                    positions[i] + velocities[i],
+                    bounds[:, 0],
+                    bounds[:, 1],
+                )
+            swarm = eng.evaluate_batch(
+                make_swarm(positions), chunk_size=batch_chunk
+            )
+            for i, candidate in enumerate(swarm):
+                if not candidate.is_viable:
+                    continue
+                incumbent = pbest[i]
+                if not incumbent.is_viable or dominates(
+                    candidate.fitness, incumbent.fitness
+                ):
+                    pbest[i] = candidate
+                elif not dominates(
+                    incumbent.fitness, candidate.fitness
+                ) and gen_rng.random() < 0.5:
+                    pbest[i] = candidate
+            archive = _update_archive(archive, swarm, capacity)
+            population = nsga2_select(
+                list(population) + list(swarm), pop_size
+            )
+            record = GenerationRecord(
+                generation=iteration,
+                population=list(population),
+                evaluated=list(swarm),
+                std=np.abs(velocities).mean(axis=0),
+                n_failures=_count_failures(swarm),
+            )
+            span.tag(evaluated=len(swarm), failures=record.n_failures)
+        commit(record, _capture_rng_state(gen_rng), velocities, pbest)
+        if stopper is not None and stopper.observe(record):
+            break
+    return records

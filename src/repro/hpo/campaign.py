@@ -20,7 +20,9 @@ from repro.evo.problem import Problem
 from repro.hpo.driver import (
     NSGA2Settings,
     run_deepmd_nsga2,
+    run_deepmd_pso,
     run_deepmd_steady_state,
+    run_deepmd_surrogate,
 )
 from repro.mo.pareto import pareto_front
 from repro.obs.live import get_status
@@ -28,14 +30,27 @@ from repro.obs.trace import NullTracer, Tracer, get_tracer
 from repro.rng import seeds_for_runs
 
 
+#: deployment schemes a campaign run can use — the optimizer zoo
+CAMPAIGN_MODES = ("generational", "steady-state", "pso", "surrogate")
+
+
 @dataclass
 class CampaignConfig:
     """Paper scale: 5 runs × (1 + 6) generations × 100 individuals.
 
     ``mode`` selects the deployment scheme per run: ``"generational"``
-    (the paper's barrier-synchronized NSGA-II) or ``"steady-state"``
+    (the paper's barrier-synchronized NSGA-II), ``"steady-state"``
     (the §2.2.5 breed-on-completion variant, same training budget,
-    rendered as pseudo-generations for the §3 analysis stack).
+    rendered as pseudo-generations for the §3 analysis stack),
+    ``"pso"`` (the Natarajan & Caro multi-objective particle swarm),
+    or ``"surrogate"`` (RBF-surrogate-assisted acquisition).
+
+    ``objectives`` names the fitness dimensions, canonicalized by
+    :func:`repro.hpo.objectives.parse_objectives` — the base
+    ``("energy", "force")`` pair, optionally extended with
+    ``"runtime"`` to make predicted training cost a third minimized
+    objective.  ``hv_stop_eps``/``hv_stop_patience`` arm the N-D
+    hypervolume early stop on every run.
     """
 
     n_runs: int = 5
@@ -45,6 +60,9 @@ class CampaignConfig:
     sort_algorithm: str = "rank_ordinal"
     base_seed: int = 2023
     mode: str = "generational"
+    objectives: Any = None
+    hv_stop_eps: Optional[float] = None
+    hv_stop_patience: int = 2
     #: batch data plane / pipelined generations (generational mode
     #: only; both bit-identical to the scalar path)
     batch_evals: bool = False
@@ -53,11 +71,14 @@ class CampaignConfig:
 
     def __post_init__(self) -> None:
         self.mode = str(self.mode).replace("_", "-")
-        if self.mode not in ("generational", "steady-state"):
+        if self.mode not in CAMPAIGN_MODES:
             raise ValueError(
-                "mode must be 'generational' or 'steady-state', "
+                f"mode must be one of {', '.join(CAMPAIGN_MODES)}, "
                 f"got {self.mode!r}"
             )
+        from repro.hpo.objectives import parse_objectives
+
+        self.objectives = parse_objectives(self.objectives)
 
     def nsga2_settings(self) -> NSGA2Settings:
         return NSGA2Settings(
@@ -68,6 +89,8 @@ class CampaignConfig:
             batch_evals=self.batch_evals,
             pipeline=self.pipeline,
             batch_chunk=self.batch_chunk,
+            hv_stop_eps=self.hv_stop_eps,
+            hv_stop_patience=self.hv_stop_patience,
         )
 
 
@@ -206,6 +229,26 @@ class Campaign:
             ):
                 if self.config.mode == "steady-state":
                     records = run_deepmd_steady_state(
+                        problem=problem,
+                        settings=self.config.nsga2_settings(),
+                        client=self.client,
+                        rng=seed,
+                        callback=cb,
+                        tracer=self.tracer,
+                        journal=self.journal,
+                    )
+                elif self.config.mode == "pso":
+                    records = run_deepmd_pso(
+                        problem=problem,
+                        settings=self.config.nsga2_settings(),
+                        client=self.client,
+                        rng=seed,
+                        callback=cb,
+                        tracer=self.tracer,
+                        journal=self.journal,
+                    )
+                elif self.config.mode == "surrogate":
+                    records = run_deepmd_surrogate(
                         problem=problem,
                         settings=self.config.nsga2_settings(),
                         client=self.client,

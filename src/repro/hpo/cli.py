@@ -460,20 +460,28 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.hpo.landscape import SurrogateDeepMDProblem
     from repro.obs import NULL_TRACER, Tracer, use_tracer
 
+    from repro.hpo.objectives import BASE_OBJECTIVES, with_objectives
+
     config = CampaignConfig(
         n_runs=args.runs,
         pop_size=args.pop_size,
         generations=args.generations,
         base_seed=args.seed,
         mode=args.mode,
+        objectives=getattr(args, "objectives", None),
+        hv_stop_eps=getattr(args, "hv_stop_eps", None),
+        hv_stop_patience=getattr(args, "hv_stop_patience", 2),
         batch_evals=getattr(args, "batch_evals", False),
         pipeline=getattr(args, "pipeline", False),
         batch_chunk=getattr(args, "batch_chunk", None),
     )
+    objectives = config.objectives
     tracer = Tracer(args.trace) if args.trace else NULL_TRACER
     problem_kind, exec_backend = _resolve_backend_args(args)
     if problem_kind == "surrogate":
-        base_factory = lambda seed: SurrogateDeepMDProblem(seed=seed)  # noqa: E731
+        base_factory = lambda seed: with_objectives(  # noqa: E731
+            SurrogateDeepMDProblem(seed=seed), objectives
+        )
         problem_spec = {"backend": "surrogate"}
     else:
         from repro.hpo.evaluator import DeepMDProblem, EvaluatorSettings
@@ -483,7 +491,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             n_frames=args.frames, rng=args.seed
         )
         settings = EvaluatorSettings(numb_steps=args.steps)
-        shared = DeepMDProblem(dataset, settings=settings)
+        shared = with_objectives(
+            DeepMDProblem(dataset, settings=settings), objectives
+        )
         base_factory = lambda seed: shared  # noqa: E731
         problem_spec = {
             "backend": "real",
@@ -491,6 +501,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             "seed": args.seed,
             "steps": args.steps,
         }
+    if tuple(objectives) != BASE_OBJECTIVES:
+        # journaled so resume rebuilds the same extended evaluator
+        problem_spec["objectives"] = list(objectives)
     import contextlib
 
     from repro.injection import use_injector
@@ -1231,13 +1244,45 @@ def main(argv: list[str] | None = None) -> int:
     _add_backend_flags(p, legacy_problem_values=True)
     p.add_argument(
         "--mode",
-        choices=["generational", "steady-state"],
+        choices=["generational", "steady-state", "pso", "surrogate"],
         default="generational",
         help=(
             "deployment scheme: the paper's barrier-synchronized "
-            "generational NSGA-II, or the §2.2.5 asynchronous "
-            "steady-state variant (same budget, breed-on-completion)"
+            "generational NSGA-II, the §2.2.5 asynchronous "
+            "steady-state variant (same budget, breed-on-completion), "
+            "multi-objective particle swarm, or RBF-surrogate-"
+            "assisted acquisition"
         ),
+    )
+    p.add_argument(
+        "--objectives",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "comma-separated objective selection: 'loss' (the paper's "
+            "energy+force pair, default) optionally extended with "
+            "'time'/'cost' to minimize predicted training runtime as "
+            "a third objective (e.g. 'loss,time')"
+        ),
+    )
+    p.add_argument(
+        "--hv-stop-eps",
+        type=float,
+        default=None,
+        metavar="EPS",
+        help=(
+            "stop a run early once its relative hypervolume gain "
+            "stays below EPS for --hv-stop-patience consecutive "
+            "generations (stopped runs are bit-identical prefixes of "
+            "unstopped ones)"
+        ),
+    )
+    p.add_argument(
+        "--hv-stop-patience",
+        type=int,
+        default=2,
+        metavar="K",
+        help="generations of stalled hypervolume before stopping",
     )
     p.add_argument("--runs", type=int, default=5)
     p.add_argument("--pop-size", type=int, default=100)

@@ -23,7 +23,13 @@ from repro.evo.asynchronous import (
 )
 from repro.evo.individual import RobustIndividual
 from repro.evo.problem import Problem
+from repro.evo.pso import PSOResumeState, multi_objective_pso
+from repro.evo.surrogate import (
+    SurrogateResumeState,
+    surrogate_assisted_search,
+)
 from repro.hpo.representation import DeepMDRepresentation
+from repro.mo.stopping import HypervolumeStopper
 from repro.rng import RngLike
 
 
@@ -51,6 +57,20 @@ class NSGA2Settings:
     pipeline: bool = False
     #: fresh evaluations per backend chunk (None: backend's hint)
     batch_chunk: Optional[int] = None
+    #: hypervolume early stop: halt once the relative HV gain stays
+    #: below ``hv_stop_eps`` for ``hv_stop_patience`` consecutive
+    #: generations (None disables; stopped runs are bit-identical to
+    #: the same-length prefix of unstopped ones)
+    hv_stop_eps: Optional[float] = None
+    hv_stop_patience: int = 2
+
+    def stopper(self) -> Optional[HypervolumeStopper]:
+        """A fresh per-run stopper, or None when early stop is off."""
+        if self.hv_stop_eps is None:
+            return None
+        return HypervolumeStopper(
+            eps=self.hv_stop_eps, patience=self.hv_stop_patience
+        )
 
 
 def run_deepmd_nsga2(
@@ -95,6 +115,7 @@ def run_deepmd_nsga2(
         batch=settings.batch_evals,
         pipeline=settings.pipeline,
         batch_chunk=settings.batch_chunk,
+        stopper=settings.stopper(),
     )
 
 
@@ -137,6 +158,7 @@ def run_deepmd_steady_state(
         rng=rng,
         journal=journal,
         tracer=tracer,
+        stopper=settings.stopper(),
     )
     if raw_record is not None:
         raw_record.append(record)
@@ -152,3 +174,79 @@ def run_deepmd_steady_state(
         if callback is not None:
             callback(rec)
     return records
+
+
+def run_deepmd_pso(
+    problem: Problem,
+    settings: Optional[NSGA2Settings] = None,
+    client: Any = None,
+    rng: RngLike = None,
+    callback: Optional[Callable[[GenerationRecord], None]] = None,
+    tracer: Any = None,
+    journal: Any = None,
+    resume_from: Optional[PSOResumeState] = None,
+) -> list[GenerationRecord]:
+    """One multi-objective PSO deployment (Natarajan & Caro) over the
+    same space, budget, and engine contract as
+    :func:`run_deepmd_nsga2`: ``pop_size`` particles for
+    ``generations`` swarm moves after the random initialization, with
+    the same journal/cache/resume/chaos semantics.
+    """
+    settings = settings or NSGA2Settings()
+    rep = DeepMDRepresentation
+    return multi_objective_pso(
+        problem=problem,
+        init_ranges=rep.init_ranges,
+        initial_std=rep.mutation_std,
+        pop_size=settings.pop_size,
+        iterations=settings.generations,
+        hard_bounds=rep.bounds,
+        decoder=rep.decoder(),
+        individual_cls=RobustIndividual,
+        client=client,
+        rng=rng,
+        callback=callback,
+        tracer=tracer,
+        dedup=settings.dedup_within_generation,
+        journal=journal,
+        resume_from=resume_from,
+        batch_chunk=settings.batch_chunk,
+        stopper=settings.stopper(),
+    )
+
+
+def run_deepmd_surrogate(
+    problem: Problem,
+    settings: Optional[NSGA2Settings] = None,
+    client: Any = None,
+    rng: RngLike = None,
+    callback: Optional[Callable[[GenerationRecord], None]] = None,
+    tracer: Any = None,
+    journal: Any = None,
+    resume_from: Optional[SurrogateResumeState] = None,
+) -> list[GenerationRecord]:
+    """One surrogate-assisted acquisition deployment (RBF surrogate +
+    greedy predicted-hypervolume-improvement batches) over the same
+    space, budget, and engine contract as :func:`run_deepmd_nsga2`.
+    """
+    settings = settings or NSGA2Settings()
+    rep = DeepMDRepresentation
+    return surrogate_assisted_search(
+        problem=problem,
+        init_ranges=rep.init_ranges,
+        initial_std=rep.mutation_std,
+        pop_size=settings.pop_size,
+        iterations=settings.generations,
+        hard_bounds=rep.bounds,
+        decoder=rep.decoder(),
+        individual_cls=RobustIndividual,
+        client=client,
+        rng=rng,
+        callback=callback,
+        tracer=tracer,
+        dedup=settings.dedup_within_generation,
+        journal=journal,
+        resume_from=resume_from,
+        batch_chunk=settings.batch_chunk,
+        stopper=settings.stopper(),
+    )

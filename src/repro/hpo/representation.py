@@ -73,6 +73,11 @@ class DeepMDRepresentation:
 
     gene_names = GENE_NAMES
 
+    #: the objectives every DeepMD problem emits, in fitness order —
+    #: campaigns may append ``runtime`` via
+    #: :func:`repro.hpo.objectives.with_objectives`
+    base_objectives: tuple[str, ...] = ("energy", "force")
+
     #: (7, 2) hard bounds applied after Gaussian mutation (Listing 1's
     #: ``hard_bounds=DeepMDRepresentation.bounds``) — identical to the
     #: initialization ranges.

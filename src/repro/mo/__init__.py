@@ -14,11 +14,16 @@ from repro.mo.dominance import (
 )
 from repro.mo.pareto import ParetoArchive, pareto_front
 from repro.mo.metrics import (
+    DEFAULT_OBJECTIVE_REFERENCES,
+    default_reference,
     generational_distance,
+    hypervolume,
     hypervolume_2d,
     inverted_generational_distance,
+    spread,
     spread_2d,
 )
+from repro.mo.stopping import HypervolumeStopper
 from repro.mo.testsuite import ZDT1, ZDT2, ZDT3, ZDT4, ZDT6, ZDTProblem
 
 __all__ = [
@@ -27,9 +32,14 @@ __all__ = [
     "pareto_front_indices",
     "pareto_front",
     "ParetoArchive",
+    "DEFAULT_OBJECTIVE_REFERENCES",
+    "default_reference",
+    "hypervolume",
     "hypervolume_2d",
+    "HypervolumeStopper",
     "generational_distance",
     "inverted_generational_distance",
+    "spread",
     "spread_2d",
     "ZDTProblem",
     "ZDT1",

@@ -51,7 +51,9 @@ from repro.obs.trace import _json_safe
 
 #: campaign-fixed hypervolume reference point (energy, force) — the
 #: same corner :func:`repro.analysis.convergence.hypervolume_progress`
-#: measures against, so live and post-hoc curves are comparable
+#: measures against, so live and post-hoc curves are comparable.
+#: Three-objective campaigns (runtime promoted to an objective) extend
+#: it via :func:`repro.mo.metrics.default_reference`.
 DEFAULT_REFERENCE_POINT: tuple[float, float] = (0.02, 0.2)
 
 
@@ -332,6 +334,12 @@ class ConvergenceTelemetry:
 
     One instance per run, with a campaign-fixed ``reference`` point so
     the hypervolume series is comparable across generations and runs.
+    The reference may have any number of objectives; when the observed
+    fronts have a different dimensionality (e.g. a three-objective
+    campaign constructed with the historical 2-D default), the
+    campaign-fixed :func:`repro.mo.metrics.default_reference` corner
+    for that dimensionality is used instead — so every driver reports
+    the N-D hypervolume without per-driver wiring.
     :meth:`observe_generation` computes the nondominated front of the
     viable individuals and publishes:
 
@@ -347,12 +355,12 @@ class ConvergenceTelemetry:
 
     def __init__(
         self,
-        reference: tuple[float, float] = DEFAULT_REFERENCE_POINT,
+        reference: tuple[float, ...] = DEFAULT_REFERENCE_POINT,
         registry: Optional[MetricsRegistry] = None,
         status: Any = None,
         campaign_id: Optional[str] = None,
     ) -> None:
-        self.reference = (float(reference[0]), float(reference[1]))
+        self.reference = tuple(float(r) for r in reference)
         registry = registry if registry is not None else get_registry()
         self.status = status if status is not None else get_status()
         if campaign_id is None:
@@ -382,7 +390,11 @@ class ConvergenceTelemetry:
     ) -> dict[str, Any]:
         """Publish one generation's convergence state; returns it."""
         from repro.mo.dominance import non_dominated_mask
-        from repro.mo.metrics import hypervolume_2d, spread_2d
+        from repro.mo.metrics import (
+            default_reference,
+            hypervolume,
+            spread as spread_nd,
+        )
 
         rows = []
         for ind in individuals:
@@ -398,11 +410,13 @@ class ConvergenceTelemetry:
         if rows:
             F = np.asarray(rows)
             front = F[non_dominated_mask(F)]
-            if F.shape[1] == 2:
-                hv = _finite(hypervolume_2d(front, self.reference))
-                raw_spread = spread_2d(front)
-                if math.isfinite(raw_spread):
-                    spread = float(raw_spread)
+            reference = self.reference
+            if len(reference) != F.shape[1]:
+                reference = default_reference(F.shape[1])
+            hv = _finite(hypervolume(front, reference))
+            raw_spread = spread_nd(front)
+            if math.isfinite(raw_spread):
+                spread = float(raw_spread)
         self._g_hv.set(hv)
         self._g_front.set(len(front))
         self._g_spread.set(spread if spread is not None else 0.0)

@@ -211,25 +211,35 @@ class CampaignJournal:
         )
 
     def append_generation(
-        self, record: GenerationRecord, rng_state: Any = None
+        self,
+        record: GenerationRecord,
+        rng_state: Any = None,
+        driver_state: Any = None,
     ) -> None:
-        """The write-ahead commit of one generation."""
+        """The write-ahead commit of one generation.
+
+        ``driver_state`` carries optimizer-specific continuation state
+        beyond the population itself (the PSO driver journals particle
+        velocities and personal bests here); readers that don't know
+        the driver simply ignore it.
+        """
         if self._run is None:
             raise RuntimeError(
                 "append_generation before begin_run/resume_run"
             )
-        self._append(
-            {
-                "type": "generation",
-                "run": self._run,
-                "generation": int(record.generation),
-                "std": [float(s) for s in record.std],
-                "n_failures": int(record.n_failures),
-                "population": _group_doc(record.population),
-                "evaluated": _group_doc(record.evaluated),
-                "rng_state": rng_state,
-            }
-        )
+        doc = {
+            "type": "generation",
+            "run": self._run,
+            "generation": int(record.generation),
+            "std": [float(s) for s in record.std],
+            "n_failures": int(record.n_failures),
+            "population": _group_doc(record.population),
+            "evaluated": _group_doc(record.evaluated),
+            "rng_state": rng_state,
+        }
+        if driver_state is not None:
+            doc["driver_state"] = driver_state
+        self._append(doc)
 
     def append_evaluation(self, individual: Individual) -> None:
         """The write-ahead commit of one completed evaluation.

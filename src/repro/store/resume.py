@@ -25,11 +25,20 @@ import warnings
 from pathlib import Path
 from typing import Any, Callable, Optional
 
+import numpy as np
+
 from repro.evo.algorithm import GenerationRecord, ResumeState
 from repro.evo.problem import Problem
+from repro.evo.pso import PSOResumeState, rebuild_archive
+from repro.evo.surrogate import SurrogateResumeState
 from repro.exceptions import StoreError
 from repro.hpo.campaign import CampaignConfig, CampaignResult
-from repro.hpo.driver import run_deepmd_nsga2, run_deepmd_steady_state
+from repro.hpo.driver import (
+    run_deepmd_nsga2,
+    run_deepmd_pso,
+    run_deepmd_steady_state,
+    run_deepmd_surrogate,
+)
 from repro.hpo.representation import DeepMDRepresentation
 from repro.obs.trace import get_tracer
 from repro.rng import seeds_for_runs
@@ -37,6 +46,7 @@ from repro.store.cache import CachedProblem, EvaluationCache
 from repro.store.journal import (
     CampaignJournal,
     JournalState,
+    _group_individuals,
     journal_path,
     read_journal,
     record_from_doc,
@@ -65,13 +75,21 @@ def problem_factory_from_spec(
 
     Mirrors the ``repro-hpo campaign`` backend wiring: the surrogate is
     rebuilt per run seed; the real backend regenerates its (seeded,
-    hence identical) dataset and shares one problem across runs.
+    hence identical) dataset and shares one problem across runs.  A
+    journaled ``objectives`` selection is re-applied via
+    :func:`repro.hpo.objectives.with_objectives`, so resumed runs score
+    (and cache-fingerprint) candidates identically to the original.
     """
+    from repro.hpo.objectives import with_objectives
+
+    objectives = spec.get("objectives")
     backend = spec.get("backend")
     if backend == "surrogate":
         from repro.hpo.landscape import SurrogateDeepMDProblem
 
-        return lambda seed: SurrogateDeepMDProblem(seed=seed)
+        return lambda seed: with_objectives(
+            SurrogateDeepMDProblem(seed=seed), objectives
+        )
     if backend == "real":
         from repro.hpo.evaluator import DeepMDProblem, EvaluatorSettings
         from repro.md.dataset import generate_dataset
@@ -80,7 +98,9 @@ def problem_factory_from_spec(
             n_frames=int(spec["frames"]), rng=int(spec["seed"])
         )
         settings = EvaluatorSettings(numb_steps=int(spec["steps"]))
-        shared = DeepMDProblem(dataset, settings=settings)
+        shared = with_objectives(
+            DeepMDProblem(dataset, settings=settings), objectives
+        )
         return lambda seed: shared
     raise StoreError(
         f"cannot rebuild a problem from spec {spec!r}; pass "
@@ -168,9 +188,11 @@ def resume_campaign(
             complete = (
                 run_state is not None and run_state.complete
             ) or len(docs) == config.generations + 1
-            if complete and len(docs) == config.generations + 1:
-                # fully journaled: restore without a problem attached
-                # (these individuals are analysis data, not parents)
+            if complete and docs:
+                # fully journaled — including runs the hypervolume
+                # stopper ended before the generation budget: restore
+                # without a problem attached (these individuals are
+                # analysis data, not parents)
                 result.runs.append(_restored_run(docs))
                 n_restored += 1
                 continue
@@ -216,13 +238,18 @@ def resume_campaign(
                 journal.end_run(run_index)
                 continue
             decoder = DeepMDRepresentation.decoder()
+            runner = {
+                "generational": run_deepmd_nsga2,
+                "pso": run_deepmd_pso,
+                "surrogate": run_deepmd_surrogate,
+            }[config.mode]
             if not docs:
                 # never started (or nothing committed): run fresh
                 journal.begin_run(run_index, int(seed))
                 with trc.span(
                     "campaign.run", run=run_index, seed=int(seed)
                 ):
-                    records = run_deepmd_nsga2(
+                    records = runner(
                         problem=problem,
                         settings=config.nsga2_settings(),
                         client=client,
@@ -244,12 +271,58 @@ def resume_campaign(
                     f"{last_doc['generation']} journaled no RNG state; "
                     "cannot continue deterministically"
                 )
-            resume_state = ResumeState(
-                parents=list(restored[-1].population),
-                generation=restored[-1].generation,
-                std=restored[-1].std,
-                rng=restore_rng(last_doc["rng_state"]),
-            )
+            restored_rng = restore_rng(last_doc["rng_state"])
+            resume_state: Any
+            if config.mode == "pso":
+                driver_state = last_doc.get("driver_state") or {}
+                if (
+                    "velocities" not in driver_state
+                    or "pbest" not in driver_state
+                ):
+                    raise StoreError(
+                        f"run {run_index} generation "
+                        f"{last_doc['generation']} journaled no swarm "
+                        "driver_state; cannot resume a PSO run "
+                        "deterministically"
+                    )
+                resume_state = PSOResumeState(
+                    positions=np.asarray(
+                        [ind.genome for ind in restored[-1].evaluated],
+                        dtype=np.float64,
+                    ),
+                    velocities=np.asarray(
+                        driver_state["velocities"], dtype=np.float64
+                    ),
+                    pbest=_group_individuals(
+                        driver_state["pbest"],
+                        decoder=decoder,
+                        problem=problem,
+                    ),
+                    population=list(restored[-1].population),
+                    archive=rebuild_archive(
+                        restored, 2 * config.pop_size
+                    ),
+                    generation=restored[-1].generation,
+                    rng=restored_rng,
+                )
+            elif config.mode == "surrogate":
+                resume_state = SurrogateResumeState(
+                    history=[
+                        ind
+                        for rec in restored
+                        for ind in rec.evaluated
+                    ],
+                    population=list(restored[-1].population),
+                    generation=restored[-1].generation,
+                    rng=restored_rng,
+                )
+            else:
+                resume_state = ResumeState(
+                    parents=list(restored[-1].population),
+                    generation=restored[-1].generation,
+                    std=restored[-1].std,
+                    rng=restored_rng,
+                )
             journal.resume_run(run_index, resume_state.generation)
             with trc.span(
                 "campaign.run",
@@ -257,7 +330,7 @@ def resume_campaign(
                 seed=int(seed),
                 resumed_from=resume_state.generation,
             ):
-                new_records = run_deepmd_nsga2(
+                new_records = runner(
                     problem=problem,
                     settings=config.nsga2_settings(),
                     client=client,
